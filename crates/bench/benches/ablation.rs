@@ -1,0 +1,95 @@
+//! Ablation benches for DESIGN.md's called-out design choices:
+//! replica write-back strategy (WBINVD vs range flush, small vs large
+//! structure) and durable-log fencing (per batch vs per entry).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prep_bench::workload::{prefilled_hashmap, prefilled_stack, MapOpGen, StackPairGen};
+use prep_pmem::{LatencyModel, PmemRuntime};
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, FlushStrategy, PrepConfig, PrepUc};
+
+const KEYS: u64 = 8_192;
+const BATCH: u64 = 100;
+
+fn rt() -> std::sync::Arc<PmemRuntime> {
+    PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8))
+}
+
+fn bench_flush_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/flush-strategy");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (strategy, sname) in [
+        (FlushStrategy::Wbinvd, "wbinvd"),
+        (FlushStrategy::RangeFlush, "range-flush"),
+    ] {
+        // Tiny structure: range flush should win.
+        g.bench_function(format!("stack-500/{sname}"), |b| {
+            let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+                .with_log_size(8_192)
+                .with_epsilon(256)
+                .with_flush_strategy(strategy)
+                .with_runtime(rt());
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_stack(500), asg, cfg);
+            let token = prep.register(0);
+            let mut gen = StackPairGen::new(0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+
+        // Large structure: WBINVD's flat cost should win.
+        g.bench_function(format!("hashmap-8k/{sname}"), |b| {
+            let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+                .with_log_size(8_192)
+                .with_epsilon(256)
+                .with_flush_strategy(strategy)
+                .with_runtime(rt());
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_hashmap(KEYS), asg, cfg);
+            let token = prep.register(0);
+            let mut gen = MapOpGen::new(0, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fence_granularity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/fence-granularity");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (per_entry, name) in [(false, "per-batch"), (true, "per-entry")] {
+        g.bench_function(name, |b| {
+            let mut cfg = PrepConfig::new(DurabilityLevel::Durable)
+                .with_log_size(8_192)
+                .with_epsilon(1_024)
+                .with_runtime(rt());
+            if per_entry {
+                cfg = cfg.with_fence_per_entry();
+            }
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_hashmap(KEYS), asg, cfg);
+            let token = prep.register(0);
+            let mut gen = MapOpGen::new(0, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flush_strategy, bench_fence_granularity);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 3 family: the ε trade-off — PREP-Buffered per-op cost as the
+//! flush boundary step varies (smaller ε → more frequent WBINVDs → slower,
+//! but a tighter post-crash loss bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prep_bench::workload::{prefilled_hashmap, MapOpGen};
+use prep_pmem::{LatencyModel, PmemRuntime};
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PrepConfig, PrepUc};
+
+const KEYS: u64 = 8_192;
+const BATCH: u64 = 100;
+
+fn bench_epsilon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3/epsilon-sweep-0r");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for eps in [16u64, 64, 256, 1_024] {
+        g.bench_with_input(BenchmarkId::new("PREP-Buffered", eps), &eps, |b, &eps| {
+            let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+                .with_log_size(8_192)
+                .with_epsilon(eps)
+                .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8)));
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_hashmap(KEYS), asg, cfg);
+            let token = prep.register(0);
+            // 0% reads: every op hits the log, maximizing ε sensitivity.
+            let mut gen = MapOpGen::new(0, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epsilon);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 6 family: black-box PUC vs hand-crafted persistence — the PREP
+//! hashmap against the SOFT hashtable (which flushes exactly one line per
+//! update and nothing on reads).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prep_bench::workload::{prefilled_hashmap, MapOpGen};
+use prep_pmem::{LatencyModel, PmemRuntime};
+use prep_seqds::hashmap::MapOp;
+use prep_soft::SoftHashMap;
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PrepConfig, PrepUc};
+
+const KEYS: u64 = 8_192;
+const BATCH: u64 = 100;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/hashmap-50r");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    g.bench_function("PREP-Buffered", |b| {
+        let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+            .with_log_size(8_192)
+            .with_epsilon(1_024)
+            .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8)));
+        let asg = Topology::new(2, 4, 1).assign_workers(1);
+        let prep = PrepUc::new(prefilled_hashmap(KEYS), asg, cfg);
+        let token = prep.register(0);
+        let mut gen = MapOpGen::new(50, KEYS, 0);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                prep.execute(&token, gen.next_op());
+            }
+        });
+    });
+
+    for (buckets, name) in [(64usize, "SOFT-small"), (512, "SOFT-large")] {
+        g.bench_function(name, |b| {
+            let rt = PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8));
+            let soft = SoftHashMap::new(buckets, rt);
+            for k in (0..KEYS).step_by(2) {
+                soft.insert(k, k);
+            }
+            let mut gen = MapOpGen::new(50, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    match gen.next_op() {
+                        MapOp::Get { key } | MapOp::Contains { key } => {
+                            soft.contains(key);
+                        }
+                        MapOp::Insert { key, value } => {
+                            soft.insert(key, value);
+                        }
+                        MapOp::Remove { key } => {
+                            soft.remove(key);
+                        }
+                        MapOp::Len => {
+                            soft.len();
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Figure 2/4/5 family: persistent UCs — PREP-Buffered vs PREP-Durable vs
+//! CX-PUC, per-op cost on the paper's three structure shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prep_bench::workload::{
+    prefilled_hashmap, prefilled_pqueue, prefilled_stack, MapOpGen, PqPairGen, StackPairGen,
+};
+use prep_cx::{CxConfig, CxUc};
+use prep_pmem::{LatencyModel, PmemRuntime};
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PrepConfig, PrepUc};
+
+const KEYS: u64 = 8_192;
+const BATCH: u64 = 100;
+
+fn cfg(level: DurabilityLevel) -> PrepConfig {
+    PrepConfig::new(level)
+        .with_log_size(8_192)
+        .with_epsilon(1_024)
+        .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8)))
+}
+
+fn bench_hashmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/hashmap-50r");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (level, name) in [
+        (DurabilityLevel::Buffered, "PREP-Buffered"),
+        (DurabilityLevel::Durable, "PREP-Durable"),
+    ] {
+        g.bench_function(name, |b| {
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_hashmap(KEYS), asg, cfg(level));
+            let token = prep.register(0);
+            let mut gen = MapOpGen::new(50, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+
+    g.bench_function("CX-PUC", |b| {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8));
+        let cx = CxUc::new(prefilled_hashmap(KEYS), CxConfig::persistent(1, rt));
+        let mut gen = MapOpGen::new(50, KEYS, 0);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                cx.execute(gen.next_op());
+            }
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_pqueue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4/pqueue-pairs");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (level, name) in [
+        (DurabilityLevel::Buffered, "PREP-Buffered"),
+        (DurabilityLevel::Durable, "PREP-Durable"),
+    ] {
+        g.bench_function(name, |b| {
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_pqueue(2_000), asg, cfg(level));
+            let token = prep.register(0);
+            let mut gen = PqPairGen::new(0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5/stack-pairs");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (level, name) in [
+        (DurabilityLevel::Buffered, "PREP-Buffered"),
+        (DurabilityLevel::Durable, "PREP-Durable"),
+    ] {
+        g.bench_function(name, |b| {
+            let asg = Topology::new(2, 4, 1).assign_workers(1);
+            let prep = PrepUc::new(prefilled_stack(500), asg, cfg(level));
+            let token = prep.register(0);
+            let mut gen = StackPairGen::new(0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+    }
+
+    g.bench_function("CX-PUC", |b| {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8));
+        let cx = CxUc::new(prefilled_stack(500), CxConfig::persistent(1, rt));
+        let mut gen = StackPairGen::new(0);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                cx.execute(gen.next_op());
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashmap, bench_pqueue, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 1 family: volatile universal constructions — PREP-V (node
+//! replication) vs the global-lock UC, single-worker op cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prep_bench::workload::{prefilled_hashmap, MapOpGen};
+use prep_nr::{GlobalLockUc, NodeReplicated};
+use prep_topology::Topology;
+
+const KEYS: u64 = 8_192;
+const BATCH: u64 = 100;
+
+fn bench_volatile_ucs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1/hashmap-90r");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(20);
+
+    g.bench_function("PREP-V", |b| {
+        let asg = Topology::new(2, 4, 1).assign_workers(1);
+        let nr = NodeReplicated::new(prefilled_hashmap(KEYS), asg, 8_192);
+        let token = nr.register(0);
+        let mut gen = MapOpGen::new(90, KEYS, 0);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                nr.execute(&token, gen.next_op());
+            }
+        });
+    });
+
+    g.bench_function("GlobalLock", |b| {
+        let gl = GlobalLockUc::new(prefilled_hashmap(KEYS));
+        let mut gen = MapOpGen::new(90, KEYS, 0);
+        b.iter(|| {
+            for _ in 0..BATCH {
+                gl.execute(gen.next_op());
+            }
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_volatile_ucs);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Beyond-paper extension: PREP's bounded log vs ONLL's unbounded one.
+//!
+//! §4.1 motivates PREP's checkpointed design: persisting *only* a log means
+//! "unboundedly many operations to recover after a crash". The ONLL-style
+//! baseline (`prep-onll`) is exactly that design point — cheaper per-update
+//! persistence (one uncontended line + fence), but recovery replays the
+//! object's entire lifetime. This driver measures both sides of the trade:
+//!
+//! * **recovery**: wall-clock recovery time and replayed-op counts after
+//!   identical workloads of growing lifetime (the structure's *live size*
+//!   is constant — churn on the same keys);
+//! * **throughput**: update-heavy throughput of the two durable designs.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use prep_onll::OnllUc;
+use prep_pmem::PmemRuntime;
+use prep_seqds::hashmap::{HashMap, MapOp};
+use prep_uc::{DurabilityLevel, PrepConfig, PrepUc};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::run_prep;
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+/// Runs the extension experiments.
+pub fn run(opts: &RunOpts) {
+    recovery_scaling(opts);
+    throughput(opts);
+}
+
+fn recovery_scaling(opts: &RunOpts) {
+    println!();
+    println!("== Extension A: recovery cost vs object lifetime (PREP-Durable vs ONLL)");
+    println!(
+        "{:<14} {:>12} {:>16} {:>14} {:>16} {:>14}",
+        "lifetime_ops", "live_keys", "prep_replay_ops", "prep_rec_ms", "onll_replay_ops", "onll_rec_ms"
+    );
+    let lifetimes: &[u64] = if opts.full {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[1_000, 5_000, 20_000]
+    };
+    const KEYS: u64 = 64; // tiny live set: churn, not growth
+    for &lifetime in lifetimes {
+        // PREP-Durable: checkpointed; recovery replays at most the persisted
+        // log window past the stable snapshot.
+        let asg = prep_topology::Topology::new(2, 2, 1).assign_workers(1);
+        let cfg = PrepConfig::new(DurabilityLevel::Durable)
+            .with_log_size(4096)
+            .with_epsilon(256)
+            .with_runtime(PmemRuntime::for_crash_tests());
+        let prep = PrepUc::new(HashMap::new(), asg.clone(), cfg);
+        let t = prep.register(0);
+        for i in 0..lifetime {
+            let key = i % KEYS;
+            if i % 2 == 0 {
+                prep.execute(&t, MapOp::Insert { key, value: i });
+            } else {
+                prep.execute(&t, MapOp::Remove { key });
+            }
+        }
+        let (token, image) = prep.simulate_crash();
+        let prep_replay = image
+            .log_entries
+            .iter()
+            .filter(|(idx, _)| {
+                *idx >= image.stable_snapshot().local_tail && *idx < image.completed_tail
+            })
+            .count();
+        let cfg = PrepConfig::new(DurabilityLevel::Durable)
+            .with_log_size(4096)
+            .with_epsilon(256)
+            .with_runtime(PmemRuntime::for_crash_tests());
+        let t0 = Instant::now();
+        let recovered = PrepUc::recover(token, image, asg, cfg);
+        let prep_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let live = recovered.with_replica(0, |m| m.len());
+        drop(recovered);
+        drop(prep);
+
+        // ONLL: full-history replay.
+        let rt = PmemRuntime::for_crash_tests();
+        let onll = OnllUc::new(HashMap::new(), 1, Arc::clone(&rt));
+        for i in 0..lifetime {
+            let key = i % KEYS;
+            if i % 2 == 0 {
+                onll.execute(0, MapOp::Insert { key, value: i });
+            } else {
+                onll.execute(0, MapOp::Remove { key });
+            }
+        }
+        let (token, image) = onll.simulate_crash();
+        let onll_replay = image.total_entries();
+        let t0 = Instant::now();
+        let (_obj, replayed) = OnllUc::recover(token, &image, HashMap::new());
+        let onll_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(replayed as usize, onll_replay);
+
+        println!(
+            "{:<14} {:>12} {:>16} {:>14.2} {:>16} {:>14.2}",
+            lifetime, live, prep_replay, prep_ms, onll_replay, onll_ms
+        );
+    }
+    println!(
+        "# PREP's replay window is bounded by the persisted-log horizon; ONLL's \
+         equals the object's lifetime."
+    );
+}
+
+fn throughput(opts: &RunOpts) {
+    let topo = topology(opts);
+    let keys = opts.key_range();
+    let (_, eps_large) = opts.epsilons();
+    report::banner(
+        "Extension B",
+        "durable-linearizable throughput: PREP-Durable vs ONLL",
+    );
+    for read_pct in [90u32, 0] {
+        for &threads in &thread_sweep(opts) {
+            let cfg = PrepConfig::new(DurabilityLevel::Durable)
+                .with_log_size(opts.log_size())
+                .with_epsilon(eps_large)
+                .with_runtime(bench_runtime(opts));
+            let cell = run_prep(
+                prefilled_hashmap(keys),
+                cfg,
+                topo,
+                threads,
+                opts.seconds,
+                map_stream(read_pct, keys),
+            );
+            report::row(&format!("{read_pct}r"), "PREP-Durable", &cell);
+
+            // ONLL cell (manual: it is not a SequentialObject adapter).
+            let rt = bench_runtime(opts);
+            let onll = Arc::new(OnllUc::new(
+                prefilled_hashmap(keys),
+                threads,
+                Arc::clone(&rt),
+            ));
+            let before = rt.stats().snapshot();
+            let gen = map_stream(read_pct, keys);
+            let onll_ref = &onll;
+            let gen_ref = &gen;
+            let m = crate::runner::measure(
+                threads,
+                std::time::Duration::from_secs_f64(opts.seconds),
+                move |w| {
+                    let mut ops = gen_ref(w);
+                    let onll = Arc::clone(onll_ref);
+                    Box::new(move || {
+                        onll.execute(w, ops());
+                    })
+                },
+            );
+            let stats = rt.stats().snapshot().delta_since(&before);
+            report::row(
+                &format!("{read_pct}r"),
+                "ONLL",
+                &crate::targets::CellResult { m, stats },
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 2: PUC throughput on sets with 1M keys — PREP-Buffered vs
+//! PREP-Durable vs CX-PUC.
+//!
+//! (a) resizable hashmap, (b) red-black tree; the grid crosses
+//! {90%, 50% read-only} × {small ε, large ε} (the paper's columns use
+//! ε = 100 and ε = 10000 = 1% of the log).
+
+use std::sync::Arc;
+
+use prep_cx::CxConfig;
+use prep_seqds::hashmap::MapOp;
+use prep_seqds::SequentialObject;
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_cx, run_prep};
+use crate::workload::{prefilled_hashmap, prefilled_rbtree};
+use crate::RunOpts;
+
+fn prep_cfg(opts: &RunOpts, level: DurabilityLevel, eps: u64) -> PrepConfig {
+    PrepConfig::new(level)
+        .with_log_size(opts.log_size())
+        .with_epsilon(eps)
+        .with_runtime(bench_runtime(opts))
+}
+
+/// Runs one (structure, workload, ε) panel across the thread sweep.
+fn panel<T, F>(opts: &RunOpts, label: &str, eps: u64, read_pct: u32, mk: F)
+where
+    T: SequentialObject<Op = MapOp>,
+    F: Fn() -> T,
+{
+    let topo = topology(opts);
+    let keys = opts.key_range();
+    for &threads in &thread_sweep(opts) {
+        let cell = run_prep(
+            mk(),
+            prep_cfg(opts, DurabilityLevel::Buffered, eps),
+            topo,
+            threads,
+            opts.seconds,
+            map_stream(read_pct, keys),
+        );
+        report::row(label, "PREP-Buffered", &cell);
+        let cell = run_prep(
+            mk(),
+            prep_cfg(opts, DurabilityLevel::Durable, eps),
+            topo,
+            threads,
+            opts.seconds,
+            map_stream(read_pct, keys),
+        );
+        report::row(label, "PREP-Durable", &cell);
+        let rt = bench_runtime(opts);
+        let cell = run_cx(
+            mk(),
+            CxConfig::persistent(threads, Arc::clone(&rt)),
+            threads,
+            opts.seconds,
+            map_stream(read_pct, keys),
+        );
+        report::row(label, "CX-PUC", &cell);
+    }
+}
+
+/// Runs the Figure 2 grid.
+pub fn run(opts: &RunOpts) {
+    let (eps_small, eps_large) = opts.epsilons();
+    report::banner(
+        "Figure 2",
+        "PUCs on 1M-key sets: PREP-Buffered vs PREP-Durable vs CX-PUC",
+    );
+    let keys = opts.key_range();
+    let want = |name: &str| {
+        opts.ds_filter
+            .as_deref()
+            .is_none_or(|f| f.eq_ignore_ascii_case(name))
+    };
+
+    if want("hashmap") {
+        for (read_pct, eps) in [
+            (90, eps_small),
+            (90, eps_large),
+            (50, eps_small),
+            (50, eps_large),
+        ] {
+            let label = format!("a:hash-{read_pct}r-e{eps}");
+            panel(opts, &label, eps, read_pct, || prefilled_hashmap(keys));
+        }
+    }
+    if want("rbtree") {
+        for (read_pct, eps) in [
+            (90, eps_small),
+            (90, eps_large),
+            (50, eps_small),
+            (50, eps_large),
+        ] {
+            let label = format!("b:rbt-{read_pct}r-e{eps}");
+            panel(opts, &label, eps, read_pct, || prefilled_rbtree(keys));
+        }
+    }
+}

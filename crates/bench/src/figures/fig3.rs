@@ -1,0 +1,51 @@
+//! Figure 3: the effect of ε — PREP-UC hashmap throughput, 90% read-only,
+//! across ε values (at paper scale: 100, 1000, 10000, 100000 on a 1M log).
+
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::run_prep;
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+/// ε values swept at each scale.
+pub fn epsilon_sweep(opts: &RunOpts) -> Vec<u64> {
+    if opts.full {
+        vec![100, 1_000, 10_000, 100_000]
+    } else {
+        vec![16, 64, 256, 1_024]
+    }
+}
+
+/// Runs the Figure 3 sweep.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    let keys = opts.key_range();
+    report::banner(
+        "Figure 3",
+        "effect of epsilon: PREP hashmap, 90% read-only",
+    );
+    for eps in epsilon_sweep(opts) {
+        for &threads in &thread_sweep(opts) {
+            for (level, name) in [
+                (DurabilityLevel::Buffered, "PREP-Buffered"),
+                (DurabilityLevel::Durable, "PREP-Durable"),
+            ] {
+                let cfg = PrepConfig::new(level)
+                    .with_log_size(opts.log_size())
+                    .with_epsilon(eps)
+                    .with_runtime(bench_runtime(opts));
+                let cell = run_prep(
+                    prefilled_hashmap(keys),
+                    cfg,
+                    topo,
+                    threads,
+                    opts.seconds,
+                    map_stream(90, keys),
+                );
+                report::row(&format!("eps={eps}"), name, &cell);
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 4: priority queue, 100% update workload (enqueue/dequeue pairs).
+//!
+//! (a) ~50k items with ε = 1000; (b) ~500k items with ε = 10000. Series:
+//! PREP-Buffered, PREP-Durable, CX-PUC.
+
+use std::sync::Arc;
+
+use prep_cx::CxConfig;
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, pq_pairs, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_cx, run_prep};
+use crate::workload::prefilled_pqueue;
+use crate::RunOpts;
+
+/// Runs the Figure 4 panels.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    report::banner(
+        "Figure 4",
+        "priority queue, 100% updates (enqueue+dequeue pairs)",
+    );
+    let panels: [(u64, u64, &str); 2] = if opts.full {
+        [
+            (50_000, 1_000, "a:50k-items-e1000"),
+            (500_000, 10_000, "b:500k-items-e10000"),
+        ]
+    } else {
+        [
+            (2_000, 256, "a:2k-items-e256"),
+            (20_000, 1_024, "b:20k-items-e1024"),
+        ]
+    };
+
+    for (items, eps, label) in panels {
+        for &threads in &thread_sweep(opts) {
+            for (level, name) in [
+                (DurabilityLevel::Buffered, "PREP-Buffered"),
+                (DurabilityLevel::Durable, "PREP-Durable"),
+            ] {
+                let cfg = PrepConfig::new(level)
+                    .with_log_size(opts.log_size())
+                    .with_epsilon(eps)
+                    .with_runtime(bench_runtime(opts));
+                let cell = run_prep(
+                    prefilled_pqueue(items),
+                    cfg,
+                    topo,
+                    threads,
+                    opts.seconds,
+                    pq_pairs(),
+                );
+                report::row(label, name, &cell);
+            }
+            let rt = bench_runtime(opts);
+            let cell = run_cx(
+                prefilled_pqueue(items),
+                CxConfig::persistent(threads, Arc::clone(&rt)),
+                threads,
+                opts.seconds,
+                pq_pairs(),
+            );
+            report::row(label, "CX-PUC", &cell);
+        }
+    }
+}

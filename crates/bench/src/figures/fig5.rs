@@ -1,0 +1,61 @@
+//! Figure 5: stack, 100% update workload (push/pop pairs).
+//!
+//! (a) 500 items, (b) ~50k items, both with the large ε. The interesting
+//! shape here: the stack is tiny, so CX-PUC's address-range flush of the
+//! whole (small) replica is cheap while PREP pays full WBINVD cost — the
+//! one setting where CX-PUC is competitive (§6 "Stack").
+
+use std::sync::Arc;
+
+use prep_cx::CxConfig;
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, stack_pairs, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_cx, run_prep};
+use crate::workload::prefilled_stack;
+use crate::RunOpts;
+
+/// Runs the Figure 5 panels.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    let (_, eps_large) = opts.epsilons();
+    report::banner("Figure 5", "stack, 100% updates (push+pop pairs)");
+    let panels: [(u64, &str); 2] = if opts.full {
+        [(500, "a:500-items"), (50_000, "b:50k-items")]
+    } else {
+        [(500, "a:500-items"), (20_000, "b:20k-items")]
+    };
+
+    for (items, label) in panels {
+        for &threads in &thread_sweep(opts) {
+            for (level, name) in [
+                (DurabilityLevel::Buffered, "PREP-Buffered"),
+                (DurabilityLevel::Durable, "PREP-Durable"),
+            ] {
+                let cfg = PrepConfig::new(level)
+                    .with_log_size(opts.log_size())
+                    .with_epsilon(eps_large)
+                    .with_runtime(bench_runtime(opts));
+                let cell = run_prep(
+                    prefilled_stack(items),
+                    cfg,
+                    topo,
+                    threads,
+                    opts.seconds,
+                    stack_pairs(),
+                );
+                report::row(label, name, &cell);
+            }
+            let rt = bench_runtime(opts);
+            let cell = run_cx(
+                prefilled_stack(items),
+                CxConfig::persistent(threads, Arc::clone(&rt)),
+                threads,
+                opts.seconds,
+                stack_pairs(),
+            );
+            report::row(label, "CX-PUC", &cell);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 6: PREP-UC hashmap vs the hand-crafted SOFT hashtable
+//! (SOFT-1kB = 1000 buckets, SOFT-10kB = 10000 buckets), 90% and 50%
+//! read-only, 1M keys, ε = 10000.
+//!
+//! Expected shape (§6): SOFT wins — it persists exactly the modified words
+//! (one line + fence per update) while black-box PREP pays the log and
+//! WBINVD machinery; the gap widens with update rate.
+
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_prep, run_soft};
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+/// Runs the Figure 6 sweep.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    let keys = opts.key_range();
+    let (_, eps_large) = opts.epsilons();
+    report::banner(
+        "Figure 6",
+        "PREP hashmap vs hand-crafted SOFT hashtable",
+    );
+    let (b_small, b_large) = if opts.full { (1_000, 10_000) } else { (64, 512) };
+
+    for read_pct in [90u32, 50] {
+        for &threads in &thread_sweep(opts) {
+            for (level, name) in [
+                (DurabilityLevel::Buffered, "PREP-Buffered"),
+                (DurabilityLevel::Durable, "PREP-Durable"),
+            ] {
+                let cfg = PrepConfig::new(level)
+                    .with_log_size(opts.log_size())
+                    .with_epsilon(eps_large)
+                    .with_runtime(bench_runtime(opts));
+                let cell = run_prep(
+                    prefilled_hashmap(keys),
+                    cfg,
+                    topo,
+                    threads,
+                    opts.seconds,
+                    map_stream(read_pct, keys),
+                );
+                report::row(&format!("{read_pct}r"), name, &cell);
+            }
+            let cell = run_soft(
+                b_small,
+                keys,
+                read_pct,
+                bench_runtime(opts),
+                threads,
+                opts.seconds,
+            );
+            report::row(&format!("{read_pct}r"), "SOFT-1kB", &cell);
+            let cell = run_soft(
+                b_large,
+                keys,
+                read_pct,
+                bench_runtime(opts),
+                threads,
+                opts.seconds,
+            );
+            report::row(&format!("{read_pct}r"), "SOFT-10kB", &cell);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Tabular output for the figure drivers.
+
+use crate::targets::CellResult;
+
+/// Prints a figure's title banner.
+pub fn banner(fig: &str, description: &str) {
+    println!();
+    println!("== {fig}: {description}");
+    println!(
+        "{:<22} {:<14} {:>7} {:>14} {:>12} {:>10} {:>10} {:>8}",
+        "panel", "series", "threads", "ops/sec", "total_ops", "flush/op", "fence/op", "wbinvd"
+    );
+}
+
+/// Prints one measurement row.
+pub fn row(panel: &str, series: &str, cell: &CellResult) {
+    println!(
+        "{:<22} {:<14} {:>7} {:>14.0} {:>12} {:>10.3} {:>10.3} {:>8}",
+        panel,
+        series,
+        cell.m.threads,
+        cell.m.ops_per_sec(),
+        cell.m.total_ops,
+        cell.flushes_per_op(),
+        cell.fences_per_op(),
+        cell.stats.wbinvd,
+    );
+}
+
+/// Formats ops/sec compactly for summaries (e.g. "1.25M").
+pub fn human_rate(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.2}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}k", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rate_picks_suffixes() {
+        assert_eq!(human_rate(12.0), "12");
+        assert_eq!(human_rate(1_500.0), "1.5k");
+        assert_eq!(human_rate(2_500_000.0), "2.50M");
+    }
+}

@@ -1,0 +1,114 @@
+//! The thread-sweep measurement runner.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One measurement cell's result.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock measurement window.
+    pub elapsed: Duration,
+    /// Operations completed across all workers.
+    pub total_ops: u64,
+}
+
+impl Measurement {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Runs `threads` workers for `duration` against per-worker op closures and
+/// returns aggregate throughput.
+///
+/// `make_worker(w)` is invoked **on worker `w`'s own thread** (so thread
+/// registration, token acquisition, and RNG seeding happen in place) and
+/// returns the closure executed in a tight loop until the deadline.
+///
+/// All workers start together (barrier) and stop together (shared flag set
+/// by the coordinator after `duration`), like the paper's fixed-time trials.
+pub fn measure<'env, F>(threads: usize, duration: Duration, make_worker: F) -> Measurement
+where
+    F: Fn(usize) -> Box<dyn FnMut() + Send + 'env> + Sync + 'env,
+{
+    assert!(threads > 0);
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(threads + 1);
+    let mut total_ops = 0u64;
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let barrier = &barrier;
+        let make_worker = &make_worker;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut op = make_worker(w);
+                    barrier.wait();
+                    let mut count = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        op();
+                        count += 1;
+                    }
+                    count
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        elapsed = t0.elapsed();
+        for h in handles {
+            total_ops += h.join().expect("worker panicked");
+        }
+    });
+
+    Measurement {
+        threads,
+        elapsed,
+        total_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn counts_every_completed_op() {
+        let shared = AtomicU64::new(0);
+        let m = measure(3, Duration::from_millis(50), |_w| {
+            let shared = &shared;
+            Box::new(move || {
+                shared.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(m.threads, 3);
+        assert_eq!(m.total_ops, shared.load(Ordering::Relaxed));
+        assert!(m.total_ops > 0);
+        assert!(m.ops_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn make_worker_runs_on_worker_thread() {
+        let main_id = std::thread::current().id();
+        measure(2, Duration::from_millis(10), move |_| {
+            assert_ne!(std::thread::current().id(), main_id);
+            Box::new(|| {})
+        });
+    }
+
+    #[test]
+    fn elapsed_is_at_least_requested() {
+        let m = measure(1, Duration::from_millis(30), |_| Box::new(|| {}));
+        assert!(m.elapsed >= Duration::from_millis(30));
+    }
+}

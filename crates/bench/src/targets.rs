@@ -1,0 +1,274 @@
+//! Adapters that run one measurement cell against each system under test.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use prep_cx::{CxConfig, CxUc};
+use prep_nr::{GlobalLockUc, NodeReplicated};
+use prep_pmem::{PmemRuntime, PmemStatsSnapshot};
+use prep_seqds::SequentialObject;
+use prep_soft::SoftHashMap;
+use prep_topology::Topology;
+use prep_uc::{PrepConfig, PrepUc};
+
+use crate::runner::{measure, Measurement};
+use crate::workload::MapOpGen;
+
+/// A measurement plus the persistence-counter delta it generated.
+#[derive(Debug, Clone, Copy)]
+pub struct CellResult {
+    /// Throughput measurement.
+    pub m: Measurement,
+    /// Persistence ops performed during the window (zero for volatile
+    /// targets).
+    pub stats: PmemStatsSnapshot,
+}
+
+impl CellResult {
+    fn volatile(m: Measurement) -> Self {
+        CellResult {
+            m,
+            stats: PmemStatsSnapshot::default(),
+        }
+    }
+
+    /// Flush instructions per completed operation.
+    pub fn flushes_per_op(&self) -> f64 {
+        if self.m.total_ops == 0 {
+            0.0
+        } else {
+            self.stats.total_flushes() as f64 / self.m.total_ops as f64
+        }
+    }
+
+    /// Fences per completed operation.
+    pub fn fences_per_op(&self) -> f64 {
+        if self.m.total_ops == 0 {
+            0.0
+        } else {
+            self.stats.sfence as f64 / self.m.total_ops as f64
+        }
+    }
+}
+
+/// A per-worker operation stream: an owned closure yielding operations.
+pub type OpStream<O> = Box<dyn FnMut() -> O + Send>;
+
+/// Runs one cell against PREP-UC (buffered or durable per `cfg`).
+pub fn run_prep<T, G>(
+    obj: T,
+    cfg: PrepConfig,
+    topo: Topology,
+    threads: usize,
+    secs: f64,
+    gen: G,
+) -> CellResult
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let rt = Arc::clone(&cfg.runtime);
+    let asg = topo.assign_workers(threads);
+    let prep = PrepUc::new(obj, asg, cfg);
+    let before = rt.stats().snapshot();
+    let prep_ref = &prep;
+    let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
+        let token = prep_ref.register(w);
+        let mut ops = gen(w);
+        Box::new(move || {
+            prep_ref.execute(&token, ops());
+        })
+    });
+    let stats = rt.stats().snapshot().delta_since(&before);
+    drop(prep);
+    CellResult { m, stats }
+}
+
+/// Runs one cell against volatile NR-UC (the paper's PREP-V).
+pub fn run_nr<T, G>(
+    obj: T,
+    topo: Topology,
+    log_size: u64,
+    threads: usize,
+    secs: f64,
+    gen: G,
+) -> CellResult
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let asg = topo.assign_workers(threads);
+    let nr = NodeReplicated::new(obj, asg, log_size);
+    let nr_ref = &nr;
+    let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
+        let token = nr_ref.register(w);
+        let mut ops = gen(w);
+        Box::new(move || {
+            nr_ref.execute(&token, ops());
+        })
+    });
+    CellResult::volatile(m)
+}
+
+/// Runs one cell against the global-lock baseline.
+pub fn run_gl<T, G>(obj: T, threads: usize, secs: f64, gen: G) -> CellResult
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let gl = GlobalLockUc::new(obj);
+    let m = measure(threads, Duration::from_secs_f64(secs), |w| {
+        let mut ops = gen(w);
+        let gl = &gl;
+        Box::new(move || {
+            gl.execute(ops());
+        })
+    });
+    CellResult::volatile(m)
+}
+
+/// Runs one cell against CX-UC / CX-PUC.
+pub fn run_cx<T, G>(obj: T, cfg: CxConfig, threads: usize, secs: f64, gen: G) -> CellResult
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let rt = cfg.persistence.clone();
+    let before = rt.as_ref().map(|r| r.stats().snapshot());
+    let cx = CxUc::new(obj, cfg);
+    let m = measure(threads, Duration::from_secs_f64(secs), |w| {
+        let mut ops = gen(w);
+        let cx = &cx;
+        Box::new(move || {
+            cx.execute(ops());
+        })
+    });
+    let stats = match (rt, before) {
+        (Some(rt), Some(b)) => rt.stats().snapshot().delta_since(&b),
+        _ => PmemStatsSnapshot::default(),
+    };
+    CellResult { m, stats }
+}
+
+/// Runs one cell against the SOFT hashtable (Figure 6).
+pub fn run_soft(
+    buckets: usize,
+    key_range: u64,
+    read_pct: u32,
+    rt: Arc<PmemRuntime>,
+    threads: usize,
+    secs: f64,
+) -> CellResult {
+    let soft = SoftHashMap::new(buckets, Arc::clone(&rt));
+    for k in (0..key_range).step_by(2) {
+        soft.insert(k, k ^ 0xABCD);
+    }
+    let before = rt.stats().snapshot();
+    let m = measure(threads, Duration::from_secs_f64(secs), |w| {
+        let mut gen = MapOpGen::new(read_pct, key_range, w);
+        let soft = &soft;
+        Box::new(move || {
+            use prep_seqds::hashmap::MapOp;
+            match gen.next_op() {
+                MapOp::Get { key } | MapOp::Contains { key } => {
+                    soft.contains(key);
+                }
+                MapOp::Insert { key, value } => {
+                    soft.insert(key, value);
+                }
+                MapOp::Remove { key } => {
+                    soft.remove(key);
+                }
+                MapOp::Len => {
+                    soft.len();
+                }
+            }
+        })
+    });
+    let stats = rt.stats().snapshot().delta_since(&before);
+    CellResult { m, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{prefilled_hashmap, MapOpGen};
+    use prep_pmem::LatencyModel;
+    use prep_uc::DurabilityLevel;
+
+    fn quick_topo() -> Topology {
+        Topology::new(2, 4, 1)
+    }
+
+    fn map_gen(read_pct: u32, keys: u64) -> impl Fn(usize) -> OpStream<prep_seqds::hashmap::MapOp> + Sync {
+        move |w| {
+            let mut g = MapOpGen::new(read_pct, keys, w);
+            Box::new(move || g.next_op())
+        }
+    }
+
+    #[test]
+    fn prep_cell_produces_throughput_and_stats() {
+        let cfg = prep_uc::PrepConfig::new(DurabilityLevel::Durable)
+            .with_log_size(4096)
+            .with_epsilon(256)
+            .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::off()));
+        let cell = run_prep(
+            prefilled_hashmap(1024),
+            cfg,
+            quick_topo(),
+            2,
+            0.05,
+            map_gen(50, 1024),
+        );
+        assert!(cell.m.total_ops > 0);
+        assert!(cell.stats.total_flushes() > 0, "durable must flush");
+        assert!(cell.flushes_per_op() > 0.0);
+    }
+
+    #[test]
+    fn nr_and_gl_cells_are_volatile() {
+        let cell = run_nr(
+            prefilled_hashmap(512),
+            quick_topo(),
+            4096,
+            2,
+            0.05,
+            map_gen(90, 512),
+        );
+        assert!(cell.m.total_ops > 0);
+        assert_eq!(cell.stats.total_flushes(), 0);
+        let cell = run_gl(prefilled_hashmap(512), 2, 0.05, map_gen(90, 512));
+        assert!(cell.m.total_ops > 0);
+    }
+
+    #[test]
+    fn cx_persistent_cell_flushes_heavily() {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::off());
+        let cell = run_cx(
+            prefilled_hashmap(512),
+            CxConfig::persistent(2, rt),
+            2,
+            0.05,
+            map_gen(0, 512),
+        );
+        assert!(cell.m.total_ops > 0);
+        assert!(
+            cell.flushes_per_op() > 1.0,
+            "CX-PUC flushes whole replicas: {:?}",
+            cell.stats
+        );
+    }
+
+    #[test]
+    fn soft_cell_flushes_at_most_once_per_op() {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::off());
+        let cell = run_soft(64, 512, 0, rt, 2, 0.05);
+        assert!(cell.m.total_ops > 0);
+        assert!(
+            cell.flushes_per_op() <= 1.01,
+            "SOFT flushes one line per successful update: {}",
+            cell.flushes_per_op()
+        );
+    }
+}

@@ -1,0 +1,301 @@
+//! PREP's implementation of the NR persistence hook points.
+//!
+//! [`HookState`] is the shared persistence state: the flush boundary, the
+//! persistent replicas' localTails (mirrored as atomics for the logMin
+//! scan), the active-replica selector, and the NVM images of the UC-managed
+//! persistent variables (log entries, `completedTail`, `p_activePReplica`).
+//! It is shared between the worker-side hooks and the persistence thread.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use prep_nr::NrHooks;
+use prep_pmem::{LogImage, PersistentCell, PmemRuntime};
+
+use crate::config::DurabilityLevel;
+
+/// Shared persistence state (see module docs).
+pub(crate) struct HookState<O: Clone> {
+    pub(crate) rt: Arc<PmemRuntime>,
+    pub(crate) durability: DurabilityLevel,
+    pub(crate) fence_per_entry: bool,
+    /// Monotone-except-for-helping flush boundary (Algorithm 2/4).
+    pub(crate) flush_boundary: CachePadded<AtomicU64>,
+    /// Volatile mirror of the persistent replicas' localTails, read by the
+    /// logMin scan.
+    pub(crate) p_tails: [CachePadded<AtomicU64>; 2],
+    /// Volatile mirror of which persistent replica is active (0 or 1).
+    pub(crate) p_active: CachePadded<AtomicU64>,
+    /// Largest completedTail known to be durable (durable mode).
+    pub(crate) persisted_ct: CachePadded<AtomicU64>,
+    /// Shutdown flag for the persistence thread and the reserve gate.
+    pub(crate) stop: AtomicBool,
+    /// NVM image of `d_completedTail` (durable mode).
+    pub(crate) ct_cell: PersistentCell<u64>,
+    /// NVM image of `p_activePReplica`.
+    pub(crate) p_active_cell: PersistentCell<u64>,
+    /// NVM image of the persisted log entries (durable mode).
+    pub(crate) log_image: LogImage<O>,
+}
+
+impl<O: Clone> HookState<O> {
+    pub(crate) fn new(
+        rt: Arc<PmemRuntime>,
+        durability: DurabilityLevel,
+        epsilon: u64,
+        fence_per_entry: bool,
+    ) -> Arc<Self> {
+        Arc::new(HookState {
+            rt,
+            durability,
+            fence_per_entry,
+            flush_boundary: CachePadded::new(AtomicU64::new(epsilon)),
+            p_tails: [
+                CachePadded::new(AtomicU64::new(0)),
+                CachePadded::new(AtomicU64::new(0)),
+            ],
+            p_active: CachePadded::new(AtomicU64::new(0)),
+            persisted_ct: CachePadded::new(AtomicU64::new(0)),
+            stop: AtomicBool::new(false),
+            ct_cell: PersistentCell::new(0),
+            p_active_cell: PersistentCell::new(0),
+            log_image: LogImage::new(),
+        })
+    }
+
+    /// Lines touched by one log entry of operation type `O` (emptyBit +
+    /// payload), for flush accounting.
+    #[inline]
+    fn entry_lines() -> u64 {
+        ((std::mem::size_of::<O>() as u64 + 1).div_ceil(64)).max(1)
+    }
+}
+
+/// The [`NrHooks`] implementation PREP plugs into `NodeReplicated`.
+pub struct PrepHooks<O: Clone + Send + 'static> {
+    pub(crate) state: Arc<HookState<O>>,
+}
+
+impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
+    fn reserve_admitted(&self, tail: u64) -> bool {
+        // Algorithm 4: refuse while the reservation would pass the flush
+        // boundary. Strictly (`tail >= boundary`, not `>`), which is what
+        // makes the ε + β − 1 loss bound tight: reservation starts stay
+        // ≤ boundary − 1, so at most (boundary − 1) + β entries ever exist
+        // beyond the last persisted localTail (≥ boundary − ε).
+        //
+        // On shutdown the persistence thread no longer advances the
+        // boundary; admit rather than hang (loss bounds are only claimed
+        // for non-shut-down instances).
+        tail < self.state.flush_boundary.load(Ordering::Acquire)
+            || self.state.stop.load(Ordering::Acquire)
+    }
+
+    fn persist_batch_payload(&self, range: Range<u64>, _ops: &[O]) {
+        if self.state.durability != DurabilityLevel::Durable {
+            return;
+        }
+        // §4.1: write all payloads, asynchronously flush each touched line,
+        // then a single fence for the whole batch. (The fence-per-entry
+        // ablation quantifies what that batching saves.)
+        let lines = HookState::<O>::entry_lines();
+        for _idx in range {
+            for _ in 0..lines {
+                self.state.rt.clflushopt();
+            }
+            if self.state.fence_per_entry {
+                self.state.rt.sfence();
+            }
+        }
+        if !self.state.fence_per_entry {
+            self.state.rt.sfence();
+        }
+    }
+
+    fn persist_batch_published(&self, range: Range<u64>, ops: &[O]) {
+        if self.state.durability != DurabilityLevel::Durable {
+            return;
+        }
+        // Flush the emptyBit lines and fence again; only after this fence
+        // are the entries recoverable, so this is where they enter the
+        // crash-store image.
+        for _ in range.clone() {
+            self.state.rt.clflushopt();
+        }
+        self.state.rt.sfence();
+        for (k, idx) in range.enumerate() {
+            self.state.log_image.persist_entry(&self.state.rt, idx, ops[k].clone());
+        }
+    }
+
+    fn ensure_completed_tail_durable(&self, ct: u64) {
+        if self.state.durability != DurabilityLevel::Durable {
+            return;
+        }
+        // §5.2 flush-reduction protocol: skip the flush if some thread
+        // already persisted a covering value; otherwise flush and publish
+        // the new durable watermark. `record_max` keeps the NVM image
+        // monotone under races between flushers of different values.
+        if self.state.persisted_ct.load(Ordering::Acquire) >= ct {
+            return;
+        }
+        self.state.rt.clflush();
+        self.state.ct_cell.record_max(&self.state.rt, ct);
+        self.state.persisted_ct.fetch_max(ct, Ordering::AcqRel);
+    }
+
+    fn persistent_tails(&self) -> Vec<u64> {
+        vec![
+            self.state.p_tails[0].load(Ordering::Acquire),
+            self.state.p_tails[1].load(Ordering::Acquire),
+        ]
+    }
+
+    fn help_persistent_straggler(&self, idx: usize, low_mark: u64) {
+        // Algorithm 3: only the *stable* replica can be a stuck straggler
+        // (the active one is being driven forward by the persistence
+        // thread). Lower the flush boundary to force an early
+        // persist-and-swap so the stable replica becomes active.
+        //
+        // Deadlock subtlety the paper's pseudocode glosses over: the
+        // persist trigger is `flushBoundary <= activeReplica.localTail`,
+        // and the active tail cannot pass completedTail — which is *frozen*
+        // here (reserves are gated at the boundary and the blocked
+        // combiners hold unfinished log entries). Lowering only to
+        // `lowMark − 1` can therefore still leave the boundary unreachable.
+        // We lower to the active replica's current tail as well, which the
+        // persistence thread can always reach; persisting earlier than ε
+        // only tightens the loss bound.
+        let active = self.state.p_active.load(Ordering::Acquire) as usize;
+        if active != idx
+            && self.state.flush_boundary.load(Ordering::Acquire) >= low_mark
+        {
+            let active_tail = self.state.p_tails[active].load(Ordering::Acquire);
+            let target = low_mark
+                .saturating_sub(1)
+                .min(active_tail)
+                .max(1);
+            self.state.flush_boundary.store(target, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(durability: DurabilityLevel) -> PrepHooks<u64> {
+        PrepHooks {
+            state: HookState::new(PmemRuntime::for_crash_tests(), durability, 16, false),
+        }
+    }
+
+    #[test]
+    fn fence_per_entry_ablation_fences_each_entry() {
+        let h = PrepHooks::<u64> {
+            state: HookState::new(PmemRuntime::for_crash_tests(), DurabilityLevel::Durable, 16, true),
+        };
+        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
+        assert_eq!(h.state.rt.stats().snapshot().sfence, 4);
+    }
+
+    #[test]
+    fn gate_admits_below_boundary_refuses_at_it() {
+        let h = mk(DurabilityLevel::Buffered); // ε = boundary = 16
+        assert!(h.reserve_admitted(15));
+        assert!(!h.reserve_admitted(16), "tail at the boundary must wait");
+        assert!(!h.reserve_admitted(17));
+        h.state.flush_boundary.store(32, Ordering::Release);
+        assert!(h.reserve_admitted(16));
+    }
+
+    #[test]
+    fn gate_admits_everything_after_stop() {
+        let h = mk(DurabilityLevel::Buffered);
+        h.state.stop.store(true, Ordering::Release);
+        assert!(h.reserve_admitted(1_000_000)); // must not wedge shutdown
+    }
+
+    #[test]
+    fn buffered_skips_all_log_persistence() {
+        let h = mk(DurabilityLevel::Buffered);
+        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
+        h.persist_batch_published(0..4, &[1, 2, 3, 4]);
+        h.ensure_completed_tail_durable(4);
+        let s = h.state.rt.stats().snapshot();
+        assert_eq!(s.total_flushes(), 0);
+        assert_eq!(s.sfence, 0);
+        assert!(h.state.log_image.is_empty());
+        assert_eq!(h.state.ct_cell.read_image(), 0);
+    }
+
+    #[test]
+    fn durable_persists_batch_with_one_fence_per_phase() {
+        let h = mk(DurabilityLevel::Durable);
+        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
+        let s = h.state.rt.stats().snapshot();
+        assert_eq!(s.clflushopt, 4, "one async flush per entry payload");
+        assert_eq!(s.sfence, 1, "a single fence per batch (§4.1)");
+        assert!(
+            h.state.log_image.is_empty(),
+            "payload-only persistence must not make entries recoverable"
+        );
+        h.persist_batch_published(0..4, &[1, 2, 3, 4]);
+        let s = h.state.rt.stats().snapshot();
+        assert_eq!(s.sfence, 2);
+        assert_eq!(h.state.log_image.len(), 4);
+        assert_eq!(
+            h.state.log_image.persisted_range(0, 4),
+            vec![(0, 1), (1, 2), (2, 3), (3, 4)]
+        );
+    }
+
+    #[test]
+    fn completed_tail_flushes_are_deduplicated() {
+        let h = mk(DurabilityLevel::Durable);
+        h.ensure_completed_tail_durable(10);
+        h.ensure_completed_tail_durable(10);
+        h.ensure_completed_tail_durable(7); // already covered
+        let s = h.state.rt.stats().snapshot();
+        assert_eq!(s.clflush, 1, "covered values must not re-flush");
+        assert_eq!(h.state.ct_cell.read_image(), 10);
+        h.ensure_completed_tail_durable(20);
+        assert_eq!(h.state.ct_cell.read_image(), 20);
+        assert_eq!(h.state.rt.stats().snapshot().clflush, 2);
+    }
+
+    #[test]
+    fn straggler_help_lowers_boundary_only_for_stable_replica() {
+        let h = mk(DurabilityLevel::Buffered);
+        h.state.flush_boundary.store(100, Ordering::Release);
+        // The active replica (0) has applied up to 80.
+        h.state.p_tails[0].store(80, Ordering::Release);
+        // active = 0 → helping replica 0 (the active one) is a no-op.
+        h.help_persistent_straggler(0, 50);
+        assert_eq!(h.state.flush_boundary.load(Ordering::Relaxed), 100);
+        // Helping replica 1 (stable) lowers the boundary to
+        // min(lowMark − 1, active tail): here lowMark − 1 = 49 binds.
+        h.help_persistent_straggler(1, 50);
+        assert_eq!(h.state.flush_boundary.load(Ordering::Relaxed), 49);
+        // Already below lowMark → no further lowering.
+        h.help_persistent_straggler(1, 60);
+        assert_eq!(h.state.flush_boundary.load(Ordering::Relaxed), 49);
+        // When the active replica's tail is below lowMark − 1, the tail
+        // binds instead — the persistence thread must be able to reach the
+        // boundary (deadlock backstop).
+        h.state.flush_boundary.store(100, Ordering::Release);
+        h.state.p_tails[0].store(20, Ordering::Release);
+        h.help_persistent_straggler(1, 50);
+        assert_eq!(h.state.flush_boundary.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn persistent_tails_mirror_atomics() {
+        let h = mk(DurabilityLevel::Buffered);
+        h.state.p_tails[0].store(3, Ordering::Release);
+        h.state.p_tails[1].store(9, Ordering::Release);
+        assert_eq!(h.persistent_tails(), vec![3, 9]);
+    }
+}

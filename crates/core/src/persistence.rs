@@ -1,0 +1,226 @@
+//! The persistence thread (Algorithm 2: `UpdatePersistentReplicas`).
+//!
+//! A single dedicated thread owns both persistence-only replicas. In each
+//! cycle it replays newly completed log entries onto the **active** replica
+//! (through the thread-local allocator swap, so the sequential object's
+//! allocations land in the persistent arena, §5.1). When the flush boundary
+//! is reached it writes the active replica back with WBINVD + SFENCE,
+//! advances the boundary by ε, and swaps the active/stable roles by
+//! persisting `p_activePReplica`.
+
+use std::sync::Arc;
+
+use prep_pmem::ReplicaImage;
+use prep_seqds::SequentialObject;
+use prep_sync::Waiter;
+
+use crate::config::{DurabilityLevel, FlushStrategy};
+use crate::hooks::HookState;
+use crate::puc::NrInner;
+
+/// A persistence-only replica (the paper's `PReplica`): just the object and
+/// its localTail — no locks, no batch, no response array (§5.1: "the
+/// persistent replicas are only accessed by the persistence thread").
+pub(crate) struct PReplica<T: SequentialObject> {
+    pub(crate) ds: T,
+    pub(crate) local_tail: u64,
+}
+
+/// Everything the persistence thread needs, moved into it at spawn.
+pub(crate) struct PersistenceTask<T: SequentialObject> {
+    pub(crate) nr: Arc<NrInner<T>>,
+    pub(crate) state: Arc<HookState<T::Op>>,
+    pub(crate) images: Arc<[ReplicaImage<T>; 2]>,
+    pub(crate) replicas: [PReplica<T>; 2],
+    pub(crate) epsilon: u64,
+    pub(crate) allocator_swap: bool,
+    pub(crate) flush_strategy: FlushStrategy,
+}
+
+impl<T: SequentialObject> PersistenceTask<T> {
+    /// The thread body: loop until `state.stop`.
+    pub(crate) fn run(mut self) {
+        use std::sync::atomic::Ordering;
+
+        let rt = Arc::clone(&self.state.rt);
+        let op_bytes = std::mem::size_of::<T::Op>() as u64;
+        let mut w = Waiter::new();
+
+        loop {
+            if self.state.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let active = self.state.p_active.load(Ordering::Acquire) as usize;
+            let tail = self.nr.completed_tail();
+            let rep = &mut self.replicas[active];
+
+            let mut progressed = false;
+            if tail > rep.local_tail {
+                // First mutation after a snapshot leaves the active
+                // replica's NVM image torn until the next WBINVD (§4.1's
+                // background-flush hazard).
+                self.images[active].mark_torn(&rt);
+                let ds = &mut rep.ds;
+                let swap = self.allocator_swap;
+                self.nr.log().for_each_op(rep.local_tail, tail, |_, op| {
+                    // Stores to the NVM-resident replica are slower than
+                    // DRAM stores; charge them.
+                    rt.nvm_write(op_bytes);
+                    if swap {
+                        prep_pmem::alloc::with_persistent(|| {
+                            ds.apply(op);
+                        });
+                    } else {
+                        ds.apply(op);
+                    }
+                });
+                rep.local_tail = tail;
+                self.state.p_tails[active].store(tail, Ordering::Release);
+                progressed = true;
+            }
+
+            // Flush trigger (Algorithm 2): checked even when no new entries
+            // arrived this cycle — a helping combiner may have *lowered* the
+            // boundary below our already-applied tail, and the gate then
+            // depends on us persisting and swapping.
+            //
+            // Second trigger (deadlock backstop): if the reservation gate is
+            // closed (boundary ≤ logTail) and we have applied everything
+            // completed so far, completedTail may be unable to reach the
+            // boundary at all (blocked combiners hold unfinished entries).
+            // Persist-and-swap now: each swap raises the boundary by ≥ ε,
+            // so the gate provably reopens, and persisting early only
+            // tightens the ε + β − 1 loss bound.
+            let boundary = self.state.flush_boundary.load(Ordering::Acquire);
+            let gate_closed = boundary <= self.nr.log().log_tail();
+            // The backstop only fires when the resulting boundary
+            // (persistedTail + ε) would actually rise — otherwise a cycle
+            // with an in-flight operation would re-persist the same state
+            // every loop iteration.
+            let backstop = gate_closed
+                && rep.local_tail == tail
+                && rep.local_tail + self.epsilon > boundary;
+            if boundary <= rep.local_tail || backstop {
+                // Write the active replica back to NVM, making it durable
+                // and consistent: WBINVD (paper default) or a per-line
+                // range flush (the §6 alternative for tiny structures).
+                let bytes = rep.ds.approx_bytes();
+                match self.flush_strategy {
+                    FlushStrategy::Wbinvd => rt.wbinvd(bytes),
+                    FlushStrategy::RangeFlush => rt.flush_range(bytes),
+                }
+                rt.sfence();
+                if rt.crash_sim_enabled() {
+                    self.images[active].install_snapshot(
+                        &rt,
+                        rep.ds.clone_object(),
+                        rep.local_tail,
+                        bytes,
+                    );
+                }
+                // Swap active/stable; persist the selector (CLFLUSH, §5.1)
+                // BEFORE raising the boundary: the boundary admits new
+                // completions against the *new* stable checkpoint, so the
+                // selector naming that checkpoint must be durable first (a
+                // crash in between would otherwise recover the old stable
+                // replica against a window sized for the new one).
+                let new_active = 1 - active as u64;
+                self.state.p_active.store(new_active, Ordering::Release);
+                self.state
+                    .p_active_cell
+                    .persist_clflush(&rt, new_active);
+                // Advance the boundary to exactly ε past what was just
+                // persisted. This is the invariant the ε + β − 1 loss bound
+                // rests on: `flushBoundary ≤ stableTail + ε` at all times,
+                // so completed entries (≤ boundary − 1 + β) never outrun the
+                // stable checkpoint by more than ε + β − 1. (The paper's
+                // `flushBoundary += ε` is equivalent on its trigger, where
+                // localTail ≥ boundary always; our early-persist backstop
+                // can fire below the boundary, where `+= ε` would widen the
+                // window beyond ε.)
+                let new_boundary = rep.local_tail + self.epsilon;
+                self.state
+                    .flush_boundary
+                    .store(new_boundary, Ordering::Release);
+                // Entries below both persistent tails can never be needed by
+                // recovery again; let the durable log image reclaim them.
+                if self.state.durability == DurabilityLevel::Durable {
+                    let min_tail = self.replicas[0]
+                        .local_tail
+                        .min(self.replicas[1].local_tail);
+                    self.state.log_image.retain_from(&rt, min_tail);
+                }
+                progressed = true;
+            }
+
+            if progressed {
+                w.reset();
+            } else {
+                w.wait();
+            }
+        }
+    }
+}
+
+/// Spawns the persistence thread. Returns its join handle; it exits when
+/// `state.stop` is raised.
+pub(crate) fn spawn_persistence_thread<T: SequentialObject>(
+    task: PersistenceTask<T>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("prep-persistence".into())
+        .spawn(move || task.run())
+        .expect("failed to spawn persistence thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DurabilityLevel, PrepConfig};
+    use crate::puc::PrepUc;
+    use prep_seqds::recorder::{Recorder, RecorderOp};
+    use prep_topology::Topology;
+    use std::sync::atomic::Ordering;
+
+    fn crash_cfg(level: DurabilityLevel, eps: u64) -> PrepConfig {
+        PrepConfig::new(level)
+            .with_log_size(256)
+            .with_epsilon(eps)
+            .with_runtime(prep_pmem::PmemRuntime::for_crash_tests())
+    }
+
+    #[test]
+    fn persistence_thread_tracks_completed_tail() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(Recorder::new(), asg, crash_cfg(DurabilityLevel::Buffered, 8));
+        let t = prep.register(0);
+        for i in 0..20u64 {
+            prep.execute(&t, RecorderOp::Record(i));
+        }
+        // The active replica must eventually reach completedTail = 20.
+        prep_sync::spin_until(|| {
+            let s = prep.hook_state();
+            s.p_tails[0].load(Ordering::Acquire).max(s.p_tails[1].load(Ordering::Acquire)) >= 20
+        });
+    }
+
+    #[test]
+    fn flush_boundary_advances_and_roles_swap() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(Recorder::new(), asg, crash_cfg(DurabilityLevel::Buffered, 4));
+        let t = prep.register(0);
+        for i in 0..40u64 {
+            prep.execute(&t, RecorderOp::Record(i));
+        }
+        let rt = prep.runtime();
+        // ε = 4 and 40 completed updates → several persist cycles.
+        prep_sync::spin_until(|| rt.stats().snapshot_count() >= 3);
+        assert!(rt.stats().wbinvd_count() >= 3);
+        // p_activePReplica was persisted at least once per swap.
+        let active_img = prep.hook_state().p_active_cell.read_image();
+        assert!(active_img <= 1);
+        // The stable replica image is a consistent (non-torn) prefix.
+        let stable = (1 - prep.hook_state().p_active.load(Ordering::Acquire)) as usize;
+        let snap = prep.replica_image(stable).read_image().expect("stable image torn");
+        assert!(snap.local_tail >= 4);
+    }
+}

@@ -1,0 +1,319 @@
+//! The user-facing PREP-UC object.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use prep_nr::{NodeReplicated, ThreadToken};
+use prep_pmem::{PmemRuntime, PmemStatsSnapshot, ReplicaImage};
+use prep_seqds::SequentialObject;
+use prep_topology::ThreadAssignment;
+
+use crate::config::PrepConfig;
+use crate::hooks::{HookState, PrepHooks};
+use crate::persistence::{spawn_persistence_thread, PReplica, PersistenceTask};
+
+/// The volatile variant used as a baseline in Figure 1: PREP with all
+/// persistence removed is exactly NR-UC.
+pub type PrepVolatile<T> = NodeReplicated<T>;
+
+/// The inner node-replicated construction with PREP's hooks installed.
+pub(crate) type NrInner<T> =
+    NodeReplicated<T, PrepHooks<<T as SequentialObject>::Op>>;
+
+/// A replicated persistent universal construction (PREP-Buffered or
+/// PREP-Durable, per [`PrepConfig::durability`]).
+///
+/// Construction spawns the persistence thread; dropping the `PrepUc` stops
+/// and joins it. Worker threads interact through
+/// [`PrepUc::register`]/[`PrepUc::execute`] — the paper's
+/// `ExecuteConcurrent` interface, identical to NR-UC's (§4.1 "PREP-UC
+/// Interface").
+pub struct PrepUc<T: SequentialObject> {
+    nr: Arc<NrInner<T>>,
+    state: Arc<HookState<T::Op>>,
+    images: Arc<[ReplicaImage<T>; 2]>,
+    config: PrepConfig,
+    beta: u64,
+    persistence: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: SequentialObject> PrepUc<T> {
+    /// Builds a PREP-UC over `obj`.
+    ///
+    /// `obj` becomes the initial state of every replica: the N volatile
+    /// replicas and both persistence-only replicas (whose NVM images start
+    /// consistent at localTail 0, like a freshly initialized persistent
+    /// memory file).
+    ///
+    /// # Panics
+    /// Panics if the configuration violates `ε ≤ LOG_SIZE − β − 1` (§5.1)
+    /// or the log is too small for the assignment.
+    pub fn new(obj: T, assignment: ThreadAssignment, config: PrepConfig) -> Self {
+        let beta = assignment.beta() as u64;
+        config.validate(beta);
+
+        let state = HookState::new(
+            Arc::clone(&config.runtime),
+            config.durability,
+            config.epsilon,
+            config.fence_per_entry,
+        );
+        let hooks = PrepHooks {
+            state: Arc::clone(&state),
+        };
+        let nr = Arc::new(NodeReplicated::with_hooks_and_fairness(
+            obj.clone_object(),
+            assignment,
+            config.log_size,
+            hooks,
+            config.fairness,
+        ));
+        let images = Arc::new([
+            ReplicaImage::new(obj.clone_object()),
+            ReplicaImage::new(obj.clone_object()),
+        ]);
+        let p_replicas = [
+            PReplica {
+                ds: obj.clone_object(),
+                local_tail: 0,
+            },
+            PReplica {
+                ds: obj,
+                local_tail: 0,
+            },
+        ];
+        let persistence = spawn_persistence_thread(PersistenceTask {
+            nr: Arc::clone(&nr),
+            state: Arc::clone(&state),
+            images: Arc::clone(&images),
+            replicas: p_replicas,
+            epsilon: config.epsilon,
+            allocator_swap: config.allocator_swap,
+            flush_strategy: config.flush_strategy,
+        });
+        PrepUc {
+            nr,
+            state,
+            images,
+            config,
+            beta,
+            persistence: Some(persistence),
+        }
+    }
+
+    /// Registers worker `worker`; see [`NodeReplicated::register`].
+    pub fn register(&self, worker: usize) -> ThreadToken {
+        self.nr.register(worker)
+    }
+
+    /// The paper's `ExecuteConcurrent`: runs `op` with (buffered) durable
+    /// linearizable semantics and returns its response.
+    pub fn execute(&self, token: &ThreadToken, op: T::Op) -> T::Resp {
+        self.nr.execute(token, op)
+    }
+
+    /// Observes a volatile replica's state, up to date with every completed
+    /// update (test/diagnostic API).
+    pub fn with_replica<R>(&self, node: usize, f: impl FnOnce(&T) -> R) -> R {
+        self.nr.with_replica(node, f)
+    }
+
+    /// Current `completedTail`.
+    pub fn completed_tail(&self) -> u64 {
+        self.nr.completed_tail()
+    }
+
+    /// The construction's configuration.
+    pub fn config(&self) -> &PrepConfig {
+        &self.config
+    }
+
+    /// β for this instance (threads on the most-loaded node).
+    pub fn beta(&self) -> u64 {
+        self.beta
+    }
+
+    /// Worst-case completed-update loss per crash: `ε + β − 1` buffered,
+    /// 0 durable (§5.1 "Worst Case Execution").
+    pub fn loss_bound(&self) -> u64 {
+        self.config.loss_bound(self.beta)
+    }
+
+    /// The persistence runtime (stats, crash capture).
+    pub fn runtime(&self) -> &Arc<PmemRuntime> {
+        &self.config.runtime
+    }
+
+    /// Snapshot of the persistence-operation counters.
+    pub fn stats(&self) -> PmemStatsSnapshot {
+        self.config.runtime.stats().snapshot()
+    }
+
+    /// The underlying node-replicated construction (advanced/diagnostic).
+    pub fn inner(&self) -> &Arc<NrInner<T>> {
+        &self.nr
+    }
+
+    pub(crate) fn hook_state(&self) -> &Arc<HookState<T::Op>> {
+        &self.state
+    }
+
+    pub(crate) fn replica_image(&self, idx: usize) -> &ReplicaImage<T> {
+        &self.images[idx]
+    }
+
+    /// Which persistent replica is currently active (0 or 1), volatile view.
+    pub fn active_persistent_replica(&self) -> u64 {
+        self.state.p_active.load(Ordering::Acquire)
+    }
+
+    /// Current flush boundary (diagnostic).
+    pub fn flush_boundary(&self) -> u64 {
+        self.state.flush_boundary.load(Ordering::Acquire)
+    }
+
+    /// The persistent replicas' localTails (volatile mirror).
+    pub fn persistent_tails(&self) -> [u64; 2] {
+        [
+            self.state.p_tails[0].load(Ordering::Acquire),
+            self.state.p_tails[1].load(Ordering::Acquire),
+        ]
+    }
+}
+
+impl<T: SequentialObject> Drop for PrepUc<T> {
+    fn drop(&mut self) {
+        self.state.stop.store(true, Ordering::Release);
+        if let Some(h) = self.persistence.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DurabilityLevel;
+    use prep_seqds::hashmap::{HashMap, MapOp, MapResp};
+    use prep_seqds::recorder::{Recorder, RecorderOp};
+    use prep_topology::Topology;
+
+    fn cfg(level: DurabilityLevel) -> PrepConfig {
+        PrepConfig::new(level)
+            .with_log_size(256)
+            .with_epsilon(32)
+            .with_runtime(PmemRuntime::for_crash_tests())
+    }
+
+    #[test]
+    fn single_threaded_buffered_map_roundtrip() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(HashMap::new(), asg, cfg(DurabilityLevel::Buffered));
+        let t = prep.register(0);
+        for k in 0..50u64 {
+            prep.execute(&t, MapOp::Insert { key: k, value: k * 3 });
+        }
+        for k in 0..50u64 {
+            assert_eq!(
+                prep.execute(&t, MapOp::Get { key: k }),
+                MapResp::Value(Some(k * 3))
+            );
+        }
+        assert_eq!(prep.execute(&t, MapOp::Len), MapResp::Len(50));
+    }
+
+    #[test]
+    fn multi_threaded_durable_updates_complete() {
+        const THREADS: usize = 3;
+        const PER_THREAD: u64 = 200;
+        let asg = Topology::small().assign_workers(THREADS);
+        let prep = Arc::new(PrepUc::new(
+            Recorder::new(),
+            asg,
+            cfg(DurabilityLevel::Durable),
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let prep = Arc::clone(&prep);
+                std::thread::spawn(move || {
+                    let t = prep.register(w);
+                    for i in 0..PER_THREAD {
+                        prep.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(prep.completed_tail(), THREADS as u64 * PER_THREAD);
+        prep.with_replica(0, |r| {
+            assert_eq!(r.count(), THREADS as u64 * PER_THREAD);
+        });
+        // Durable mode flushed log entries and the completed tail.
+        let s = prep.stats();
+        assert!(s.clflushopt >= THREADS as u64 * PER_THREAD, "entry flushes");
+        assert!(s.clflush > 0, "completedTail flushes");
+        assert!(s.sfence > 0);
+    }
+
+    #[test]
+    fn loss_bound_reports_config_values() {
+        let asg = Topology::small().assign_workers(3); // β = 2 (2 cores/node)
+        let prep = PrepUc::new(
+            Recorder::new(),
+            asg,
+            cfg(DurabilityLevel::Buffered).with_epsilon(10),
+        );
+        assert_eq!(prep.beta(), 2);
+        assert_eq!(prep.loss_bound(), 11); // ε + β − 1
+    }
+
+    #[test]
+    fn drop_stops_persistence_thread_quickly() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(Recorder::new(), asg, cfg(DurabilityLevel::Buffered));
+        let t0 = std::time::Instant::now();
+        drop(prep);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "persistence thread failed to stop"
+        );
+    }
+
+    #[test]
+    fn log_wrap_with_persistence_backpressure() {
+        // Tiny log + tiny ε: the gate and the persistence thread interact
+        // constantly; everything must still complete.
+        const THREADS: usize = 3;
+        const PER_THREAD: u64 = 300;
+        let asg = Topology::small().assign_workers(THREADS);
+        let prep = Arc::new(PrepUc::new(
+            Recorder::new(),
+            asg,
+            PrepConfig::new(DurabilityLevel::Buffered)
+                .with_log_size(64)
+                .with_epsilon(8)
+                .with_runtime(PmemRuntime::for_crash_tests()),
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let prep = Arc::clone(&prep);
+                std::thread::spawn(move || {
+                    let t = prep.register(w);
+                    for i in 0..PER_THREAD {
+                        prep.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(prep.completed_tail(), THREADS as u64 * PER_THREAD);
+        assert!(
+            prep.runtime().stats().snapshot_count() > 5,
+            "tiny ε must force many persist cycles"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Persistence hook points.
+//!
+//! PREP-UC is "NR-UC plus persistence" (§4.1): the control flow of
+//! reservation, combining, and log reclamation is unchanged, but persistence
+//! actions are inserted at five specific points. [`NrHooks`] names those
+//! points; the volatile construction uses [`NoopHooks`] (zero-cost —
+//! everything inlines away), and `prep-uc` provides buffered and durable
+//! implementations.
+
+use std::ops::Range;
+
+/// Hook points the universal construction invokes around the shared log.
+///
+/// All methods have no-op defaults; implementations override the subset
+/// their durability level needs.
+pub trait NrHooks<O>: Send + Sync + 'static {
+    /// Called by `ReserveLogEntries` before each CAS attempt, with the
+    /// observed `logTail`: may this reservation proceed? The PREP
+    /// implementations answer `false` while the tail has reached the
+    /// flush boundary (Algorithm 4): no new entries may be reserved until
+    /// the active persistent replica has been persisted, which is what
+    /// bounds post-crash loss to `ε + β − 1`.
+    ///
+    /// Deliberately **non-blocking**: the caller is a combiner holding its
+    /// replica's combiner lock, and while it waits it must stay responsive
+    /// to `updateReplicaNow` helping requests (a blocked-combiner gate was
+    /// observed to deadlock log-space reclamation — see DESIGN.md).
+    fn reserve_admitted(&self, _tail: u64) -> bool {
+        true
+    }
+
+    /// Called after the combiner wrote the batch payloads into entries
+    /// `range` but **before** any emptyBit is set. PREP-Durable flushes
+    /// every touched entry asynchronously and issues one fence (§4.1: "a
+    /// single fence is executed" per batch).
+    fn persist_batch_payload(&self, _range: Range<u64>, _ops: &[O]) {}
+
+    /// Called after the combiner set the emptyBits of `range`. PREP-Durable
+    /// flushes the emptyBit lines and fences again; only now are the
+    /// entries recoverable (an entry whose payload is durable but whose
+    /// emptyBit is not would be skipped by recovery).
+    fn persist_batch_published(&self, _range: Range<u64>, _ops: &[O]) {}
+
+    /// Called before a completed update's response is released to its
+    /// invoking thread, with the `completedTail` value that covers it.
+    /// PREP-Durable ensures a persisted `completedTail >= ct` here (the
+    /// flush-or-observe-persisted protocol of §5.2); without this, a thread
+    /// whose CAS lost to a larger advance could return before the covering
+    /// tail is durable.
+    fn ensure_completed_tail_durable(&self, _ct: u64) {}
+
+    /// localTails of the persistence-only replicas, consulted by the logMin
+    /// scan (§5.1: worker threads "need to know about the localTails of the
+    /// two persistent replicas in order to correctly reuse log entries").
+    /// Empty for volatile NR.
+    fn persistent_tails(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// The logMin straggler is persistence-only replica `idx` (an index
+    /// into [`NrHooks::persistent_tails`]). PREP lowers the flushBoundary
+    /// to `low_mark - 1` if `idx` is the *stable* replica, forcing an early
+    /// persist-and-swap so it catches up (Algorithm 3).
+    fn help_persistent_straggler(&self, _idx: usize, _low_mark: u64) {}
+}
+
+/// The volatile instantiation: every hook is a no-op. `NodeReplicated`
+/// with `NoopHooks` is NR-UC exactly — the paper's PREP-V baseline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHooks;
+
+impl<O> NrHooks<O> for NoopHooks {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_hooks_do_nothing_observable() {
+        let h = NoopHooks;
+        assert!(NrHooks::<u64>::reserve_admitted(&h, 5));
+        NrHooks::<u64>::persist_batch_payload(&h, 0..3, &[1, 2, 3]);
+        NrHooks::<u64>::persist_batch_published(&h, 0..3, &[1, 2, 3]);
+        NrHooks::<u64>::ensure_completed_tail_durable(&h, 3);
+        assert!(NrHooks::<u64>::persistent_tails(&h).is_empty());
+        NrHooks::<u64>::help_persistent_straggler(&h, 0, 10);
+    }
+}

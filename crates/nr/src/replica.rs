@@ -1,0 +1,174 @@
+//! Per-node replicas and flat-combining batch slots.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use crossbeam_utils::CachePadded;
+use prep_sync::{
+    PhaseFairReadGuard, PhaseFairRwLock, PhaseFairWriteGuard, RwSpinLock, RwSpinReadGuard,
+    RwSpinWriteGuard, TryLock,
+};
+
+use crate::FairnessMode;
+
+/// Slot states for the flat-combining protocol.
+pub(crate) const SLOT_EMPTY: u8 = 0;
+pub(crate) const SLOT_PENDING: u8 = 1;
+pub(crate) const SLOT_DONE: u8 = 2;
+
+/// One thread's slot in its node's flat-combining batch.
+///
+/// Ownership protocol:
+/// * the owning worker writes `op` while the slot is `EMPTY`, then stores
+///   `PENDING` (release);
+/// * the combiner reads `op` after loading `PENDING` (acquire), writes
+///   `resp`, then stores `DONE` (release);
+/// * the owner takes `resp` after loading `DONE` (acquire) and stores
+///   `EMPTY` (release), completing the cycle.
+pub(crate) struct BatchSlot<O, R> {
+    pub(crate) state: CachePadded<AtomicU8>,
+    pub(crate) op: UnsafeCell<Option<O>>,
+    pub(crate) resp: UnsafeCell<Option<R>>,
+}
+
+// SAFETY: `op`/`resp` are handed off between exactly two parties with
+// release/acquire ordering on `state` per the protocol above.
+unsafe impl<O: Send, R: Send> Send for BatchSlot<O, R> {}
+unsafe impl<O: Send, R: Send> Sync for BatchSlot<O, R> {}
+
+impl<O, R> BatchSlot<O, R> {
+    fn new() -> Self {
+        BatchSlot {
+            state: CachePadded::new(AtomicU8::new(SLOT_EMPTY)),
+            op: UnsafeCell::new(None),
+            resp: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// The replica's reader-writer lock, selected by [`FairnessMode`] (§4.2:
+/// the starvation-free variant swaps in a starvation-free reader-writer
+/// lock so a stream of combiners cannot starve readers).
+// One instance per NUMA node: the size difference between lock
+// implementations is irrelevant at that count.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum ReplicaRwLock<T> {
+    WriterPref(RwSpinLock<T>),
+    PhaseFair(PhaseFairRwLock<T>),
+}
+
+pub(crate) enum ReplicaReadGuard<'a, T> {
+    WriterPref(RwSpinReadGuard<'a, T>),
+    PhaseFair(PhaseFairReadGuard<'a, T>),
+}
+
+pub(crate) enum ReplicaWriteGuard<'a, T> {
+    WriterPref(RwSpinWriteGuard<'a, T>),
+    PhaseFair(PhaseFairWriteGuard<'a, T>),
+}
+
+impl<T> ReplicaRwLock<T> {
+    fn new(ds: T, fairness: FairnessMode) -> Self {
+        match fairness {
+            FairnessMode::Throughput => ReplicaRwLock::WriterPref(RwSpinLock::new(ds)),
+            FairnessMode::StarvationFree => {
+                ReplicaRwLock::PhaseFair(PhaseFairRwLock::new(ds))
+            }
+        }
+    }
+
+    pub(crate) fn read(&self) -> ReplicaReadGuard<'_, T> {
+        match self {
+            ReplicaRwLock::WriterPref(l) => ReplicaReadGuard::WriterPref(l.read()),
+            ReplicaRwLock::PhaseFair(l) => ReplicaReadGuard::PhaseFair(l.read()),
+        }
+    }
+
+    pub(crate) fn write(&self) -> ReplicaWriteGuard<'_, T> {
+        match self {
+            ReplicaRwLock::WriterPref(l) => ReplicaWriteGuard::WriterPref(l.write()),
+            ReplicaRwLock::PhaseFair(l) => ReplicaWriteGuard::PhaseFair(l.write()),
+        }
+    }
+}
+
+impl<T> Deref for ReplicaReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            ReplicaReadGuard::WriterPref(g) => g,
+            ReplicaReadGuard::PhaseFair(g) => g,
+        }
+    }
+}
+
+impl<T> Deref for ReplicaWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match self {
+            ReplicaWriteGuard::WriterPref(g) => g,
+            ReplicaWriteGuard::PhaseFair(g) => g,
+        }
+    }
+}
+
+impl<T> DerefMut for ReplicaWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self {
+            ReplicaWriteGuard::WriterPref(g) => g.deref_mut(),
+            ReplicaWriteGuard::PhaseFair(g) => g.deref_mut(),
+        }
+    }
+}
+
+/// A volatile replica: the sequential object plus its coordination state.
+pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
+    /// The combiner lock (paper: a trylock; winning it makes a thread the
+    /// combiner for this node).
+    pub(crate) combiner: TryLock<()>,
+    /// Reader-writer lock protecting the sequential object.
+    pub(crate) rw: ReplicaRwLock<T>,
+    /// First log index not yet applied to this replica.
+    pub(crate) local_tail: CachePadded<AtomicU64>,
+    /// Flat-combining batch: one slot per worker on this node.
+    pub(crate) slots: Box<[BatchSlot<T::Op, T::Resp>]>,
+    /// `updateReplicaNow` flag (Algorithm 3): set by a combiner blocked on
+    /// logMin to ask this replica's threads to bring it up to date.
+    pub(crate) update_now: CachePadded<AtomicBool>,
+}
+
+impl<T: prep_seqds::SequentialObject> Replica<T> {
+    pub(crate) fn new(ds: T, beta: usize, fairness: FairnessMode) -> Self {
+        Replica {
+            combiner: TryLock::new(()),
+            rw: ReplicaRwLock::new(ds, fairness),
+            local_tail: CachePadded::new(AtomicU64::new(0)),
+            slots: (0..beta).map(|_| BatchSlot::new()).collect(),
+            update_now: CachePadded::new(AtomicBool::new(false)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn local_tail(&self) -> u64 {
+        self.local_tail.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prep_seqds::recorder::Recorder;
+
+    #[test]
+    fn replica_initial_state() {
+        let r: Replica<Recorder> = Replica::new(Recorder::new(), 4, FairnessMode::Throughput);
+        assert_eq!(r.local_tail(), 0);
+        assert_eq!(r.slots.len(), 4);
+        assert!(!r.update_now.load(Ordering::Relaxed));
+        assert!(!r.combiner.is_locked());
+        for s in r.slots.iter() {
+            assert_eq!(s.state.load(Ordering::Relaxed), SLOT_EMPTY);
+        }
+    }
+}

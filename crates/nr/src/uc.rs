@@ -1,0 +1,718 @@
+//! The node-replication universal construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use prep_seqds::SequentialObject;
+use prep_sync::{TicketLock, Waiter};
+use prep_topology::ThreadAssignment;
+
+use crate::hooks::{NoopHooks, NrHooks};
+use crate::log::Log;
+use crate::replica::{Replica, SLOT_DONE, SLOT_EMPTY, SLOT_PENDING};
+use crate::FairnessMode;
+
+/// A registered worker's identity: its NUMA node (→ replica) and its slot in
+/// that node's flat-combining batch.
+///
+/// Deliberately neither `Clone` nor `Copy`: a token is the exclusive
+/// capability to use one batch slot, and two threads sharing a token would
+/// race on it. Obtained from [`NodeReplicated::register`].
+#[derive(Debug)]
+pub struct ThreadToken {
+    worker: usize,
+    node: usize,
+    slot: usize,
+}
+
+impl ThreadToken {
+    /// The worker index this token was registered for.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// The NUMA node (replica index) this worker operates on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+/// NR-UC: a concurrent object built from a sequential one by node
+/// replication (paper §3). With the default [`NoopHooks`] this is the
+/// volatile construction (the paper's PREP-V); `prep-uc` instantiates it
+/// with persistence hooks.
+///
+/// ```
+/// use prep_nr::NodeReplicated;
+/// use prep_seqds::recorder::{Recorder, RecorderOp, RecorderResp};
+/// use prep_topology::Topology;
+///
+/// let asg = Topology::small().assign_workers(2);
+/// let nr = NodeReplicated::new(Recorder::new(), asg, 64);
+/// let t0 = nr.register(0);
+/// assert_eq!(
+///     nr.execute(&t0, RecorderOp::Record(7)),
+///     RecorderResp::RecordedAt(0)
+/// );
+/// assert_eq!(nr.execute(&t0, RecorderOp::Count), RecorderResp::Count(1));
+/// ```
+pub struct NodeReplicated<T: SequentialObject, H: NrHooks<T::Op> = NoopHooks> {
+    log: Log<T::Op>,
+    replicas: Box<[Replica<T>]>,
+    assignment: ThreadAssignment,
+    beta: u64,
+    hooks: H,
+    registered: Box<[AtomicBool]>,
+    /// FIFO reservation lock, present in [`FairnessMode::StarvationFree`].
+    fair_reserve: Option<TicketLock>,
+}
+
+impl<T: SequentialObject> NodeReplicated<T, NoopHooks> {
+    /// Builds the volatile construction (PREP-V): `obj` is replicated once
+    /// per populated NUMA node of `assignment`, coordinated through a log of
+    /// `log_size` entries.
+    pub fn new(obj: T, assignment: ThreadAssignment, log_size: u64) -> Self {
+        Self::with_hooks(obj, assignment, log_size, NoopHooks)
+    }
+}
+
+impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
+    /// Builds the construction with explicit persistence hooks (default
+    /// [`FairnessMode::Throughput`]).
+    pub fn with_hooks(obj: T, assignment: ThreadAssignment, log_size: u64, hooks: H) -> Self {
+        Self::with_hooks_and_fairness(obj, assignment, log_size, hooks, FairnessMode::default())
+    }
+
+    /// Builds the construction with explicit persistence hooks and liveness
+    /// mode.
+    ///
+    /// # Panics
+    /// Panics if `log_size` is too small for deadlock-free reclamation: the
+    /// ring must comfortably hold every node's in-flight batch, so we
+    /// require `log_size >= 2 * (nodes + 1) * β + 2` (see
+    /// `update_or_wait_on_log_min`).
+    pub fn with_hooks_and_fairness(
+        obj: T,
+        assignment: ThreadAssignment,
+        log_size: u64,
+        hooks: H,
+        fairness: FairnessMode,
+    ) -> Self {
+        let nodes = assignment.populated_nodes();
+        let beta = assignment.beta() as u64;
+        let min_log = 2 * (nodes as u64 + 1) * beta + 2;
+        assert!(
+            log_size >= min_log,
+            "log_size {log_size} too small: need at least {min_log} for \
+             {nodes} nodes with batch size {beta}"
+        );
+        let replicas: Box<[Replica<T>]> = (0..nodes)
+            .map(|_| Replica::new(obj.clone_object(), beta as usize, fairness))
+            .collect();
+        let registered = (0..assignment.workers())
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        NodeReplicated {
+            log: Log::new(log_size),
+            replicas,
+            assignment,
+            beta,
+            hooks,
+            registered,
+            fair_reserve: match fairness {
+                FairnessMode::Throughput => None,
+                FairnessMode::StarvationFree => Some(TicketLock::new()),
+            },
+        }
+    }
+
+    /// Registers worker `worker` (an index into the assignment), returning
+    /// its token. Each worker may register exactly once.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or duplicate registration.
+    pub fn register(&self, worker: usize) -> ThreadToken {
+        assert!(
+            worker < self.assignment.workers(),
+            "worker {worker} out of range ({} workers)",
+            self.assignment.workers()
+        );
+        let was = self.registered[worker].swap(true, Ordering::AcqRel);
+        assert!(!was, "worker {worker} registered twice");
+        ThreadToken {
+            worker,
+            node: self.assignment.node_of(worker),
+            slot: self.assignment.slot_of(worker),
+        }
+    }
+
+    /// The paper's `ExecuteConcurrent`: runs `op` against the object with
+    /// linearizable semantics and returns its response.
+    pub fn execute(&self, token: &ThreadToken, op: T::Op) -> T::Resp {
+        if T::is_read_only(&op) {
+            self.execute_readonly(token, op)
+        } else {
+            self.execute_update(token, op)
+        }
+    }
+
+    fn execute_update(&self, token: &ThreadToken, op: T::Op) -> T::Resp {
+        let replica = &self.replicas[token.node];
+        let slot = &replica.slots[token.slot];
+        debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_EMPTY);
+        // Publish the operation in our batch slot.
+        // SAFETY: we own the slot while it is EMPTY.
+        unsafe { *slot.op.get() = Some(op) };
+        slot.state.store(SLOT_PENDING, Ordering::Release);
+
+        let mut w = Waiter::new();
+        loop {
+            if slot.state.load(Ordering::Acquire) == SLOT_DONE {
+                // SAFETY: DONE (acquire) synchronizes with the combiner's
+                // resp write; the slot is ours again.
+                let resp = unsafe { (*slot.resp.get()).take() }.expect("combiner left no resp");
+                slot.state.store(SLOT_EMPTY, Ordering::Release);
+                return resp;
+            }
+            if let Some(_guard) = replica.combiner.try_lock() {
+                // We are the combiner for this node.
+                self.combine(token.node);
+                // Our own PENDING slot was part of the batch (or a previous
+                // combiner already completed it); re-check DONE.
+                continue;
+            }
+            w.wait();
+        }
+    }
+
+    /// The combiner: collects this node's pending batch, appends it to the
+    /// log, brings the local replica up to date, and delivers responses.
+    ///
+    /// Caller must hold `replicas[node]`'s combiner lock.
+    fn combine(&self, node: usize) {
+        let replica = &self.replicas[node];
+
+        // 1. Collect the batch.
+        let mut slot_ids: Vec<usize> = Vec::with_capacity(replica.slots.len());
+        let mut ops: Vec<T::Op> = Vec::with_capacity(replica.slots.len());
+        for (i, s) in replica.slots.iter().enumerate() {
+            if s.state.load(Ordering::Acquire) == SLOT_PENDING {
+                // SAFETY: PENDING (acquire) synchronizes with the owner's op
+                // write; the combiner takes ownership of the op.
+                let op = unsafe { (*s.op.get()).take() }.expect("PENDING slot without op");
+                slot_ids.push(i);
+                ops.push(op);
+            }
+        }
+        if ops.is_empty() {
+            return;
+        }
+        let n = ops.len() as u64;
+
+        // 2. Reserve log entries (gated by the flush boundary, and running
+        //    the logMin reclamation protocol).
+        let start = self.reserve(n, node);
+        let end = start + n;
+
+        // 3. Write payloads; persist them (durable); publish; persist the
+        //    published bits (durable). §4.1 "Operation Log".
+        for (k, op) in ops.iter().enumerate() {
+            // SAFETY: we reserved [start, end); the logMin protocol ran in
+            // `reserve`, so these slots are reusable.
+            unsafe { self.log.write_payload(start + k as u64, op.clone()) };
+        }
+        self.hooks.persist_batch_payload(start..end, &ops);
+        for k in 0..n {
+            // SAFETY: payload written above.
+            unsafe { self.log.publish(start + k) };
+        }
+        self.hooks.persist_batch_published(start..end, &ops);
+
+        // 4. Bring the local replica up to date through `end`, recording
+        //    responses for our own batch.
+        {
+            let mut ds = replica.rw.write();
+            let from = replica.local_tail.load(Ordering::Acquire);
+            debug_assert!(
+                from <= start,
+                "replica applied our batch before we combined it"
+            );
+            // Foreign entries first (responses belong to other nodes).
+            self.log.for_each_op(from, start, |_, op| {
+                ds.apply(op);
+            });
+            // Our batch, capturing responses.
+            for (k, &slot_i) in slot_ids.iter().enumerate() {
+                let resp = ds.apply(&ops[k]);
+                let s = &replica.slots[slot_i];
+                // SAFETY: between PENDING and DONE the combiner owns the
+                // slot's resp field.
+                unsafe { *s.resp.get() = Some(resp) };
+            }
+            replica.local_tail.store(end, Ordering::Release);
+        }
+
+        // 5. Advance completedTail; make it durable before releasing any
+        //    response (durable mode).
+        self.log.advance_completed_tail(end);
+        self.hooks.ensure_completed_tail_durable(end);
+
+        // 6. Release responses.
+        for &slot_i in &slot_ids {
+            replica.slots[slot_i].state.store(SLOT_DONE, Ordering::Release);
+        }
+    }
+
+    /// Algorithm 4: reserve `n` entries, blocking at the flush boundary.
+    fn reserve(&self, n: u64, node: usize) -> u64 {
+        // Starvation-free mode serializes reservations through a FIFO
+        // ticket lock (§4.2: "Replacing the CAS with a fair lock would
+        // allow for starvation-free update operations"). The ticket only
+        // covers the gate + CAS; logMin maintenance happens after release
+        // so waiting on a straggler replica cannot block other reservers.
+        let fair_guard = self.fair_reserve.as_ref().map(|l| l.lock());
+        let mut w = Waiter::new();
+        let tail = loop {
+            let tail = self.log.log_tail();
+            // Gate: PREP refuses admission while the persistence thread has
+            // not yet persisted up to the flush boundary. While waiting we
+            // hold our replica's combiner lock, so we must keep servicing
+            // updateReplicaNow requests — a logMin updater may need *our*
+            // replica to advance before the boundary can move.
+            if !self.hooks.reserve_admitted(tail) {
+                if self.replicas[node].update_now.load(Ordering::Acquire) {
+                    self.update_replica_to(node, self.log.completed_tail());
+                    self.replicas[node].update_now.store(false, Ordering::Release);
+                }
+                w.wait();
+                continue;
+            }
+            if self.log.try_reserve(tail, n) {
+                break tail;
+            }
+            debug_assert!(fair_guard.is_none(), "ticketed CAS cannot lose");
+            w.wait();
+        };
+        drop(fair_guard);
+        self.update_or_wait_on_log_min(tail, tail + n, node);
+        tail
+    }
+
+    /// Algorithm 3: make sure `[tail, new_tail)` is safe to write, advancing
+    /// `logMin` if our reservation crossed the lowMark, or waiting (and
+    /// helping our own replica) otherwise.
+    fn update_or_wait_on_log_min(&self, tail: u64, new_tail: u64, node: usize) {
+        let beta = self.beta;
+        let low_mark = self.log.log_min().saturating_sub(beta);
+        if new_tail <= low_mark {
+            return;
+        }
+        if tail <= low_mark {
+            // Our reservation contains the lowMark entry: we advance logMin.
+            self.advance_log_min(new_tail, node);
+        } else {
+            // Someone earlier owns the lowMark; wait for logMin to advance,
+            // helping our own replica if asked to (Algorithm 3, else-branch).
+            let mut w = Waiter::new();
+            while self.log.log_min().saturating_sub(beta) < new_tail {
+                if self.replicas[node].update_now.load(Ordering::Acquire) {
+                    self.update_replica_to(node, self.log.completed_tail());
+                    self.replicas[node].update_now.store(false, Ordering::Release);
+                }
+                w.wait();
+            }
+        }
+    }
+
+    fn advance_log_min(&self, new_tail: u64, node: usize) {
+        let size = self.log.size();
+        let mut outer = Waiter::new();
+        loop {
+            let log_min = self.log.log_min();
+            if log_min.saturating_sub(self.beta) >= new_tail {
+                return;
+            }
+            let low_mark = log_min.saturating_sub(self.beta);
+            // Scan every localTail: volatile replicas then persistent ones.
+            let mut lowest = u64::MAX;
+            let mut who = 0usize;
+            for (i, r) in self.replicas.iter().enumerate() {
+                let lt = r.local_tail();
+                if lt < lowest {
+                    lowest = lt;
+                    who = i;
+                }
+            }
+            let ptails = self.hooks.persistent_tails();
+            for (j, &lt) in ptails.iter().enumerate() {
+                if lt < lowest {
+                    lowest = lt;
+                    who = self.replicas.len() + j;
+                }
+            }
+
+            if lowest + size - 1 == log_min {
+                // The straggler hasn't moved since logMin was last advanced:
+                // help it (Algorithm 3).
+                if who >= self.replicas.len() {
+                    // A persistence-only replica: ask PREP to persist-and-
+                    // swap early by lowering the flush boundary.
+                    self.hooks
+                        .help_persistent_straggler(who - self.replicas.len(), low_mark);
+                    outer.wait();
+                } else if who == node {
+                    // Our own replica is the straggler; we hold its combiner
+                    // lock, so update it directly. completedTail never
+                    // covers our still-unwritten reservation, so this cannot
+                    // consume our own pending batch.
+                    self.update_replica_to(node, self.log.completed_tail());
+                    outer.wait();
+                } else {
+                    // Another node's replica: raise its updateReplicaNow
+                    // flag and wait; if its threads are idle, help remotely
+                    // under its combiner lock (safe: holding the combiner
+                    // lock proves no combine is in flight there, and we only
+                    // apply published entries up to completedTail).
+                    let straggler = &self.replicas[who];
+                    straggler.update_now.store(true, Ordering::Release);
+                    let baseline = lowest;
+                    let mut w = Waiter::new();
+                    while straggler.local_tail() == baseline
+                        && self.log.completed_tail() > baseline
+                    {
+                        if w.is_contended() {
+                            if let Some(_guard) = straggler.combiner.try_lock() {
+                                self.update_replica_to(who, self.log.completed_tail());
+                            }
+                        }
+                        w.wait();
+                    }
+                    straggler.update_now.store(false, Ordering::Release);
+                }
+                continue;
+            }
+
+            self.log.set_log_min(lowest + size - 1);
+            // Loop: recompute — one advance may not cover new_tail.
+        }
+    }
+
+    /// Applies published log entries `[localTail, to)` to `node`'s replica.
+    ///
+    /// Caller must hold the replica's combiner lock.
+    fn update_replica_to(&self, node: usize, to: u64) {
+        let replica = &self.replicas[node];
+        let mut ds = replica.rw.write();
+        let from = replica.local_tail.load(Ordering::Acquire);
+        if from >= to {
+            return;
+        }
+        self.log.for_each_op(from, to, |_, op| {
+            ds.apply(op);
+        });
+        replica.local_tail.store(to, Ordering::Release);
+    }
+
+    fn execute_readonly(&self, token: &ThreadToken, op: T::Op) -> T::Resp {
+        let replica = &self.replicas[token.node];
+        // Snapshot completedTail at invocation: the response must reflect at
+        // least every operation completed before this read began (§3).
+        let ct = self.log.completed_tail();
+        let mut w = Waiter::new();
+        loop {
+            if replica.local_tail() >= ct {
+                let guard = replica.rw.read();
+                return guard.apply_readonly(&op);
+            }
+            // Replica is behind: become the combiner and catch it up, or
+            // wait for the current combiner.
+            if let Some(_guard) = replica.combiner.try_lock() {
+                self.update_replica_to(token.node, self.log.completed_tail());
+                replica.update_now.store(false, Ordering::Release);
+                continue;
+            }
+            w.wait();
+        }
+    }
+
+    /// Current `completedTail` (used by the persistence thread and tests).
+    pub fn completed_tail(&self) -> u64 {
+        self.log.completed_tail()
+    }
+
+    /// The shared log (the persistence thread replays from it; recovery
+    /// reads it).
+    pub fn log(&self) -> &Log<T::Op> {
+        &self.log
+    }
+
+    /// The persistence hooks.
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// The worker→node assignment this instance was built with.
+    pub fn assignment(&self) -> &ThreadAssignment {
+        &self.assignment
+    }
+
+    /// Number of volatile replicas (= populated NUMA nodes).
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Batch capacity β.
+    pub fn beta(&self) -> u64 {
+        self.beta
+    }
+
+    /// Runs `f` against `node`'s replica under its read lock, after
+    /// bringing it up to date with `completedTail` — i.e. observes a state
+    /// reflecting every completed update. Test/diagnostic API.
+    pub fn with_replica<R>(&self, node: usize, f: impl FnOnce(&T) -> R) -> R {
+        let replica = &self.replicas[node];
+        let ct = self.log.completed_tail();
+        let mut w = Waiter::new();
+        loop {
+            if replica.local_tail() >= ct {
+                let guard = replica.rw.read();
+                return f(&guard);
+            }
+            if let Some(_guard) = replica.combiner.try_lock() {
+                self.update_replica_to(node, self.log.completed_tail());
+                continue;
+            }
+            w.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prep_seqds::recorder::{Recorder, RecorderOp, RecorderResp};
+    use prep_topology::Topology;
+    use std::sync::Arc;
+
+    fn small_nr(workers: usize, log: u64) -> (Arc<NodeReplicated<Recorder>>, usize) {
+        // 2 nodes × 4 cores × 1 smt → up to 7 workers across 2 nodes.
+        let topo = Topology::new(2, 4, 1);
+        let asg = topo.assign_workers(workers);
+        let nodes = asg.populated_nodes();
+        (Arc::new(NodeReplicated::new(Recorder::new(), asg, log)), nodes)
+    }
+
+    #[test]
+    fn single_thread_updates_and_reads() {
+        let (nr, _) = small_nr(1, 64);
+        let t = nr.register(0);
+        for i in 0..10u64 {
+            assert_eq!(
+                nr.execute(&t, RecorderOp::Record(i)),
+                RecorderResp::RecordedAt(i)
+            );
+        }
+        assert_eq!(nr.execute(&t, RecorderOp::Count), RecorderResp::Count(10));
+        assert_eq!(
+            nr.execute(&t, RecorderOp::Last),
+            RecorderResp::Last(Some(9))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_rejected() {
+        let (nr, _) = small_nr(2, 64);
+        let _a = nr.register(0);
+        let _b = nr.register(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn undersized_log_rejected() {
+        let topo = Topology::new(2, 4, 1);
+        let asg = topo.assign_workers(7);
+        let _ = NodeReplicated::new(Recorder::new(), asg, 8);
+    }
+
+    #[test]
+    fn concurrent_updates_all_recorded_in_log_order() {
+        const THREADS: usize = 6; // spans both nodes
+        const PER_THREAD: u64 = 300;
+        let (nr, nodes) = small_nr(THREADS, 256);
+        assert_eq!(nodes, 2);
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let nr = Arc::clone(&nr);
+                std::thread::spawn(move || {
+                    let t = nr.register(w);
+                    for i in 0..PER_THREAD {
+                        let id = (w as u64) << 32 | i;
+                        nr.execute(&t, RecorderOp::Record(id));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Every replica, once caught up, holds the same history containing
+        // each id exactly once, with per-thread FIFO order.
+        let reference = nr.with_replica(0, |r| r.history().to_vec());
+        assert_eq!(reference.len(), THREADS * PER_THREAD as usize);
+        for node in 0..nodes {
+            let h = nr.with_replica(node, |r| r.history().to_vec());
+            assert_eq!(h, reference, "replica {node} diverged");
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut per_thread_next = [0u64; THREADS];
+        for id in &reference {
+            assert!(seen.insert(*id), "duplicate id {id:#x}");
+            let w = (id >> 32) as usize;
+            let seq = id & 0xffff_ffff;
+            assert_eq!(
+                seq, per_thread_next[w],
+                "per-thread FIFO order violated for worker {w}"
+            );
+            per_thread_next[w] += 1;
+        }
+    }
+
+    #[test]
+    fn log_wraps_many_times_without_corruption() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 500;
+        // Smallest admissible log for 2 nodes / β=4: 2*3*4+2 = 26 → use 32.
+        let (nr, _) = small_nr(THREADS, 32);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let nr = Arc::clone(&nr);
+                std::thread::spawn(move || {
+                    let t = nr.register(w);
+                    for i in 0..PER_THREAD {
+                        nr.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = THREADS as u64 * PER_THREAD;
+        assert!(nr.log().log_tail() >= total, "all ops logged");
+        let h = nr.with_replica(0, |r| r.history().to_vec());
+        assert_eq!(h.len() as u64, total);
+    }
+
+    #[test]
+    fn reads_observe_previously_completed_updates() {
+        const THREADS: usize = 4;
+        let (nr, _) = small_nr(THREADS, 128);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let nr = Arc::clone(&nr);
+                std::thread::spawn(move || {
+                    let t = nr.register(w);
+                    let mut mine = 0u64;
+                    for i in 0..200u64 {
+                        nr.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                        mine += 1;
+                        // A read after my i-th completed update must observe
+                        // at least i+1 updates (mine alone).
+                        match nr.execute(&t, RecorderOp::Count) {
+                            RecorderResp::Count(c) => {
+                                assert!(c >= mine, "read missed completed updates")
+                            }
+                            other => panic!("unexpected resp {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn starvation_free_mode_preserves_correctness() {
+        // The §4.2 liveness variant (ticketed reservations + phase-fair
+        // replica locks) must produce identical semantics.
+        const THREADS: usize = 5;
+        const PER_THREAD: u64 = 300;
+        let topo = Topology::new(2, 4, 1);
+        let asg = topo.assign_workers(THREADS);
+        let nr = Arc::new(NodeReplicated::with_hooks_and_fairness(
+            Recorder::new(),
+            asg,
+            128,
+            crate::NoopHooks,
+            FairnessMode::StarvationFree,
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let nr = Arc::clone(&nr);
+                std::thread::spawn(move || {
+                    let t = nr.register(w);
+                    for i in 0..PER_THREAD {
+                        nr.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                        if i % 16 == 0 {
+                            nr.execute(&t, RecorderOp::Count);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let hist = nr.with_replica(0, |r| r.history().to_vec());
+        assert_eq!(hist.len() as u64, THREADS as u64 * PER_THREAD);
+        let mut next = [0u64; THREADS];
+        for id in &hist {
+            let w = (id >> 32) as usize;
+            assert_eq!(id & 0xffff_ffff, next[w], "FIFO violated under fairness");
+            next[w] += 1;
+        }
+    }
+
+    #[test]
+    fn uneven_finishers_do_not_deadlock_reclamation() {
+        // Node 1's single worker finishes early; node 0 keeps wrapping the
+        // small log and must reclaim space via helping (remote update of the
+        // idle replica), not deadlock.
+        let topo = Topology::new(2, 4, 1);
+        let asg = topo.assign_workers(5); // node0: 4 workers, node1: 1
+        let nr = Arc::new(NodeReplicated::new(Recorder::new(), asg, 32));
+
+        let early = {
+            let nr = Arc::clone(&nr);
+            std::thread::spawn(move || {
+                let t = nr.register(4); // the node-1 worker
+                for i in 0..5u64 {
+                    nr.execute(&t, RecorderOp::Record(0xdead << 16 | i));
+                }
+                // ...then goes idle forever.
+            })
+        };
+        early.join().unwrap();
+
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let nr = Arc::clone(&nr);
+                std::thread::spawn(move || {
+                    let t = nr.register(w);
+                    for i in 0..400u64 {
+                        nr.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = nr.with_replica(0, |r| r.history().to_vec());
+        assert_eq!(h.len(), 5 + 4 * 400);
+    }
+}

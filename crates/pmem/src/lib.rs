@@ -1,0 +1,44 @@
+//! Persistence-semantics emulator for the PREP-UC reproduction.
+//!
+//! The paper runs on a machine with Intel Optane DC persistent memory and
+//! persists data with `CLFLUSH`/`CLFLUSHOPT` + `SFENCE` and (for whole
+//! replicas) the privileged `WBINVD` instruction. This crate replaces that
+//! hardware with an emulator that models the two things the algorithms
+//! actually depend on (see DESIGN.md "Hardware substitutions"):
+//!
+//! 1. **What survives a crash.** A [`PmemRuntime`] owns a *crash store*: the
+//!    set of values that have genuinely reached "NVM". Persist operations
+//!    ([`PersistentCell::persist`], [`ReplicaImage::install_snapshot`],
+//!    [`LogImage::persist_entry`]) update it; a simulated power failure is a
+//!    *consistent cut* of the store captured via
+//!    [`PmemRuntime::capture_cut`], from which recovery code rebuilds the
+//!    object. The active persistent replica's image is marked **torn**
+//!    between its first post-snapshot mutation and the next WBINVD —
+//!    modelling the paper's background-flush hazard (§4.1): recovering a torn
+//!    image is a detectable bug.
+//!
+//! 2. **What persistence costs.** Every flush/fence/WBINVD spins for a
+//!    configurable latency ([`LatencyModel`]) and bumps counters
+//!    ([`PmemStats`]), so benchmark *shapes* (flush-bound vs compute-bound,
+//!    the ε trade-off, CX's whole-replica flushes) reproduce without NVM.
+//!
+//! The crate also implements the paper's persistent-allocation story (§5.1):
+//! a free-list [`arena::PArena`] with a fixed base address, and
+//! [`alloc::SwappableAllocator`] — a `GlobalAlloc` wrapper with a
+//! *thread-local* flag that redirects a thread's allocations to the
+//! persistent arena without modifying sequential data-structure code.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod alloc;
+pub mod arena;
+mod image;
+mod latency;
+mod runtime;
+mod stats;
+
+pub use image::{LogImage, PersistentCell, ReplicaImage, ReplicaSnapshot, TornImage};
+pub use latency::LatencyModel;
+pub use runtime::{CrashToken, PmemRuntime};
+pub use stats::{PmemStats, PmemStatsSnapshot};

@@ -1,0 +1,260 @@
+//! The central persistence runtime: cost charging + consistent-cut capture.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+
+use crate::latency::{charge_ns, LatencyModel};
+use crate::stats::PmemStats;
+
+thread_local! {
+    /// Outstanding asynchronous flushes issued by this thread since its last
+    /// SFENCE. The fence drains them (and is charged per pending flush).
+    static PENDING_FLUSHES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Proof that a crash was simulated; carries a monotonically increasing
+/// crash id. Recovery constructors take a `CrashToken` so that "recover"
+/// paths cannot be invoked without an actual (simulated) crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashToken {
+    /// 1-based index of this crash within the runtime's lifetime.
+    pub crash_id: u64,
+}
+
+/// The persistence-semantics emulator shared by one universal construction
+/// instance (and everything it persists).
+///
+/// Two independent switches:
+/// * the [`LatencyModel`] decides what persistence *costs* (benchmarks use
+///   an Optane-calibrated model; correctness tests switch it off);
+/// * `crash_sim` decides whether persist operations also maintain the crash
+///   store (tests on) or are cost-only (benchmarks off — maintaining the
+///   store takes a global read lock per persist, which would distort
+///   measured scaling).
+#[derive(Debug)]
+pub struct PmemRuntime {
+    latency: LatencyModel,
+    stats: PmemStats,
+    crash_sim: bool,
+    /// Readers: every persist effect. Writer: crash capture. Holding the
+    /// write lock freezes the crash store, making the captured image a
+    /// consistent cut of the persist order.
+    cut_lock: RwLock<()>,
+    crashes: AtomicU64,
+}
+
+impl PmemRuntime {
+    /// Creates a runtime with the given cost model and crash-sim switch.
+    pub fn new(latency: LatencyModel, crash_sim: bool) -> Arc<Self> {
+        Arc::new(PmemRuntime {
+            latency,
+            stats: PmemStats::new(),
+            crash_sim,
+            cut_lock: RwLock::new(()),
+            crashes: AtomicU64::new(0),
+        })
+    }
+
+    /// Cost-only runtime for benchmarks (no crash store).
+    pub fn for_benchmarks(latency: LatencyModel) -> Arc<Self> {
+        Self::new(latency, false)
+    }
+
+    /// Zero-cost runtime with crash simulation, for correctness tests.
+    pub fn for_crash_tests() -> Arc<Self> {
+        Self::new(LatencyModel::off(), true)
+    }
+
+    /// The cost model in effect.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// Persistence-operation counters.
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    /// Whether the crash store is being maintained.
+    pub fn crash_sim_enabled(&self) -> bool {
+        self.crash_sim
+    }
+
+    /// Emulates a synchronous `CLFLUSH` of one cache line.
+    #[inline]
+    pub fn clflush(&self) {
+        charge_ns(self.latency.clflush_ns);
+        self.stats.count_clflush();
+    }
+
+    /// Emulates an asynchronous `CLFLUSHOPT`/`CLWB` of one cache line.
+    /// Durability is only guaranteed after the next [`PmemRuntime::sfence`].
+    #[inline]
+    pub fn clflushopt(&self) {
+        charge_ns(self.latency.clflushopt_ns);
+        self.stats.count_clflushopt();
+        PENDING_FLUSHES.with(|p| p.set(p.get() + 1));
+    }
+
+    /// Emulates an `SFENCE`: drains this thread's outstanding asynchronous
+    /// flushes, charging per pending line.
+    #[inline]
+    pub fn sfence(&self) {
+        let pending = PENDING_FLUSHES.with(|p| p.replace(0));
+        charge_ns(self.latency.sfence_ns + pending * self.latency.sfence_per_pending_ns);
+        self.stats.count_sfence();
+    }
+
+    /// Emulates `WBINVD` over `dirty_bytes` of modelled dirty footprint
+    /// (write back and invalidate the executing processor's entire cache).
+    #[inline]
+    pub fn wbinvd(&self, dirty_bytes: u64) {
+        charge_ns(self.latency.wbinvd_cost_ns(dirty_bytes));
+        self.stats.count_wbinvd();
+    }
+
+    /// Emulates flushing a `bytes`-long address range with asynchronous
+    /// line flushes (the CX-PUC whole-replica persist, and PREP's
+    /// range-flush alternative to WBINVD from §6). Counts one `CLFLUSHOPT`
+    /// per line; the cost is charged in one batch. Durability still
+    /// requires a following [`PmemRuntime::sfence`].
+    #[inline]
+    pub fn flush_range(&self, bytes: u64) {
+        let lines = bytes.div_ceil(64).max(1);
+        charge_ns(lines * self.latency.clflushopt_ns);
+        self.stats.count_clflushopt_n(lines);
+        PENDING_FLUSHES.with(|p| p.set(p.get() + lines));
+    }
+
+    /// Charges the extra write latency for `bytes` of stores that target
+    /// NVM (used when the persistence thread replays operations onto a
+    /// persistent replica).
+    #[inline]
+    pub fn nvm_write(&self, bytes: u64) {
+        if self.latency.nvm_write_ns == 0 {
+            return;
+        }
+        let lines = bytes.div_ceil(64).max(1);
+        charge_ns(lines * self.latency.nvm_write_ns);
+    }
+
+    /// Number of asynchronous flushes this thread has issued since its last
+    /// fence (test/diagnostic hook).
+    pub fn pending_flushes() -> u64 {
+        PENDING_FLUSHES.with(|p| p.get())
+    }
+
+    /// Enters a persist effect: returns a guard that must be held while
+    /// mutating the crash store. Returns `None` when crash simulation is
+    /// off (the caller then skips the store update entirely).
+    #[inline]
+    pub(crate) fn persist_effect(&self) -> Option<RwLockReadGuard<'_, ()>> {
+        if self.crash_sim {
+            Some(self.cut_lock.read().expect("cut lock poisoned"))
+        } else {
+            None
+        }
+    }
+
+    /// Simulates a full-system power failure: blocks until all in-flight
+    /// persist effects complete, freezes the crash store, runs `capture`
+    /// (which should clone whatever persisted images recovery will need),
+    /// and returns the closure's result together with a [`CrashToken`].
+    ///
+    /// # Panics
+    /// Panics if called when crash simulation is disabled.
+    pub fn capture_cut<R>(&self, capture: impl FnOnce() -> R) -> (CrashToken, R) {
+        assert!(
+            self.crash_sim,
+            "capture_cut requires a crash-sim runtime (PmemRuntime::for_crash_tests)"
+        );
+        let _w = self.cut_lock.write().expect("cut lock poisoned");
+        let out = capture();
+        let id = self.crashes.fetch_add(1, Ordering::Relaxed) + 1;
+        (CrashToken { crash_id: id }, out)
+    }
+
+    /// Total simulated crashes so far.
+    pub fn crash_count(&self) -> u64 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn flush_and_fence_update_stats_and_pending() {
+        let rt = PmemRuntime::for_crash_tests();
+        assert_eq!(PmemRuntime::pending_flushes(), 0);
+        rt.clflushopt();
+        rt.clflushopt();
+        assert_eq!(PmemRuntime::pending_flushes(), 2);
+        rt.sfence();
+        assert_eq!(PmemRuntime::pending_flushes(), 0);
+        rt.clflush();
+        let s = rt.stats().snapshot();
+        assert_eq!(s.clflushopt, 2);
+        assert_eq!(s.sfence, 1);
+        assert_eq!(s.clflush, 1);
+    }
+
+    #[test]
+    fn pending_flushes_are_per_thread() {
+        let rt = PmemRuntime::for_crash_tests();
+        rt.clflushopt();
+        let rt2 = Arc::clone(&rt);
+        thread::spawn(move || {
+            assert_eq!(PmemRuntime::pending_flushes(), 0);
+            rt2.clflushopt();
+            assert_eq!(PmemRuntime::pending_flushes(), 1);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(PmemRuntime::pending_flushes(), 1);
+        rt.sfence();
+    }
+
+    #[test]
+    fn capture_cut_excludes_concurrent_persist_effects() {
+        let rt = PmemRuntime::for_crash_tests();
+        let inside = Arc::new(AtomicBool::new(false));
+
+        // A thread holding a persist-effect guard delays the capture.
+        let rt2 = Arc::clone(&rt);
+        let inside2 = Arc::clone(&inside);
+        let holder = thread::spawn(move || {
+            let g = rt2.persist_effect().expect("crash sim on");
+            inside2.store(true, Ordering::Release);
+            thread::sleep(std::time::Duration::from_millis(20));
+            drop(g);
+        });
+        prep_sync::spin_until(|| inside.load(Ordering::Acquire));
+        let t0 = std::time::Instant::now();
+        let (token, ()) = rt.capture_cut(|| ());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        assert_eq!(token.crash_id, 1);
+        holder.join().unwrap();
+        let (token2, ()) = rt.capture_cut(|| ());
+        assert_eq!(token2.crash_id, 2);
+        assert_eq!(rt.crash_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a crash-sim runtime")]
+    fn capture_cut_panics_without_crash_sim() {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::off());
+        rt.capture_cut(|| ());
+    }
+
+    #[test]
+    fn bench_runtime_skips_persist_effect_guard() {
+        let rt = PmemRuntime::for_benchmarks(LatencyModel::off());
+        assert!(rt.persist_effect().is_none());
+        assert!(!rt.crash_sim_enabled());
+    }
+}

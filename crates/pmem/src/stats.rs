@@ -1,0 +1,175 @@
+//! Persistence-operation counters.
+//!
+//! Every emulated flush/fence/WBINVD bumps a counter here. The benchmark
+//! harness reports these next to throughput so the *why* behind each figure
+//! (e.g. CX-PUC's whole-replica flush volume vs PREP's batched log flushes)
+//! is visible, and the crash tests use them as progress probes (e.g. "crash
+//! after the third WBINVD").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// Atomic counters for persistence operations.
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    clflush: CachePadded<AtomicU64>,
+    clflushopt: CachePadded<AtomicU64>,
+    sfence: CachePadded<AtomicU64>,
+    wbinvd: CachePadded<AtomicU64>,
+    bytes_persisted: CachePadded<AtomicU64>,
+    snapshots: CachePadded<AtomicU64>,
+}
+
+/// A point-in-time copy of [`PmemStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmemStatsSnapshot {
+    /// Synchronous CLFLUSH count.
+    pub clflush: u64,
+    /// Asynchronous CLFLUSHOPT/CLWB count.
+    pub clflushopt: u64,
+    /// SFENCE count.
+    pub sfence: u64,
+    /// WBINVD count.
+    pub wbinvd: u64,
+    /// Total bytes made persistent (cells + log entries + snapshots).
+    pub bytes_persisted: u64,
+    /// Replica snapshots installed (== successful persist cycles).
+    pub snapshots: u64,
+}
+
+impl PmemStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_clflush(&self) {
+        self.clflush.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_clflushopt(&self) {
+        self.clflushopt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_clflushopt_n(&self, n: u64) {
+        self.clflushopt.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_sfence(&self) {
+        self.sfence.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_wbinvd(&self) {
+        self.wbinvd.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_bytes(&self, n: u64) {
+        self.bytes_persisted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_snapshot(&self) {
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of WBINVDs so far (cheap accessor for progress probes).
+    pub fn wbinvd_count(&self) -> u64 {
+        self.wbinvd.load(Ordering::Relaxed)
+    }
+
+    /// Number of replica snapshots installed so far.
+    pub fn snapshot_count(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Takes a consistent-enough copy of all counters (relaxed reads; the
+    /// counters are monotone so any interleaving is a valid observation).
+    pub fn snapshot(&self) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            clflush: self.clflush.load(Ordering::Relaxed),
+            clflushopt: self.clflushopt.load(Ordering::Relaxed),
+            sfence: self.sfence.load(Ordering::Relaxed),
+            wbinvd: self.wbinvd.load(Ordering::Relaxed),
+            bytes_persisted: self.bytes_persisted.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl PmemStatsSnapshot {
+    /// Per-field difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            clflush: self.clflush.saturating_sub(earlier.clflush),
+            clflushopt: self.clflushopt.saturating_sub(earlier.clflushopt),
+            sfence: self.sfence.saturating_sub(earlier.sfence),
+            wbinvd: self.wbinvd.saturating_sub(earlier.wbinvd),
+            bytes_persisted: self.bytes_persisted.saturating_sub(earlier.bytes_persisted),
+            snapshots: self.snapshots.saturating_sub(earlier.snapshots),
+        }
+    }
+
+    /// Total explicit flush instructions (sync + async).
+    pub fn total_flushes(&self) -> u64 {
+        self.clflush + self.clflushopt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = PmemStats::new();
+        s.count_clflush();
+        s.count_clflushopt();
+        s.count_clflushopt();
+        s.count_sfence();
+        s.count_wbinvd();
+        s.count_bytes(128);
+        s.count_snapshot();
+        let snap = s.snapshot();
+        assert_eq!(snap.clflush, 1);
+        assert_eq!(snap.clflushopt, 2);
+        assert_eq!(snap.sfence, 1);
+        assert_eq!(snap.wbinvd, 1);
+        assert_eq!(snap.bytes_persisted, 128);
+        assert_eq!(snap.snapshots, 1);
+        assert_eq!(snap.total_flushes(), 3);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise() {
+        let s = PmemStats::new();
+        s.count_sfence();
+        let a = s.snapshot();
+        s.count_sfence();
+        s.count_clflush();
+        let b = s.snapshot();
+        let d = b.delta_since(&a);
+        assert_eq!(d.sfence, 1);
+        assert_eq!(d.clflush, 1);
+        assert_eq!(d.wbinvd, 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_not_lossy() {
+        use std::sync::Arc;
+        let s = Arc::new(PmemStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.count_clflushopt();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().clflushopt, 4000);
+    }
+}

@@ -1,0 +1,284 @@
+//! A resizable, separate-chaining hashmap (paper §6 "Hashmap": "a resizable
+//! linked list based hashmap").
+//!
+//! Deliberately plain sequential code: `Vec` of bucket chains, doubling
+//! resize at load factor 1.0, Fibonacci hashing for u64 keys. No
+//! synchronization, no persistence — the universal constructions provide
+//! both.
+
+use crate::SequentialObject;
+
+/// Operations on [`HashMap`]; this enum is the log-entry payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Insert or overwrite `key` with `value`.
+    Insert {
+        /// Key to insert.
+        key: u64,
+        /// Value to associate.
+        value: u64,
+    },
+    /// Remove `key` if present.
+    Remove {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Read the value for `key` (read-only).
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Membership test (read-only).
+    Contains {
+        /// Key to test.
+        key: u64,
+    },
+    /// Current number of entries (read-only).
+    Len,
+}
+
+/// Responses for [`MapOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapResp {
+    /// Previous value (for insert/remove) or looked-up value (for get).
+    Value(Option<u64>),
+    /// Membership answer.
+    Bool(bool),
+    /// Entry count.
+    Len(usize),
+}
+
+/// A resizable chained hashmap from `u64` to `u64`.
+#[derive(Debug, Clone)]
+pub struct HashMap {
+    buckets: Vec<Vec<(u64, u64)>>,
+    len: usize,
+}
+
+impl HashMap {
+    /// Creates a map with a small initial bucket count.
+    pub fn new() -> Self {
+        Self::with_buckets(16)
+    }
+
+    /// Creates a map with `buckets` initial buckets (rounded up to a power
+    /// of two).
+    pub fn with_buckets(buckets: usize) -> Self {
+        let n = buckets.next_power_of_two().max(2);
+        HashMap {
+            buckets: vec![Vec::new(); n],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(&self, key: u64) -> usize {
+        // Fibonacci hashing: multiply by 2^64/φ and take the top bits.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.buckets.len().trailing_zeros())) as usize
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        if self.len >= self.buckets.len() {
+            self.resize();
+        }
+        let b = self.bucket_of(key);
+        for slot in &mut self.buckets[b] {
+            if slot.0 == key {
+                return Some(std::mem::replace(&mut slot.1, value));
+            }
+        }
+        self.buckets[b].push((key, value));
+        self.len += 1;
+        None
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let b = self.bucket_of(key);
+        let chain = &mut self.buckets[b];
+        if let Some(pos) = chain.iter().position(|&(k, _)| k == key) {
+            self.len -= 1;
+            Some(chain.swap_remove(pos).1)
+        } else {
+            None
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let b = self.bucket_of(key);
+        self.buckets[b]
+            .iter()
+            .find(|&&(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current bucket count (exposed for resize tests).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn resize(&mut self) {
+        let new_n = self.buckets.len() * 2;
+        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_n]);
+        let entries: Vec<(u64, u64)> = old.into_iter().flatten().collect();
+        for (k, v) in entries {
+            let b = self.bucket_of(k);
+            self.buckets[b].push((k, v));
+        }
+    }
+}
+
+impl Default for HashMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SequentialObject for HashMap {
+    type Op = MapOp;
+    type Resp = MapResp;
+
+    fn apply(&mut self, op: &MapOp) -> MapResp {
+        match *op {
+            MapOp::Insert { key, value } => MapResp::Value(self.insert(key, value)),
+            MapOp::Remove { key } => MapResp::Value(self.remove(key)),
+            MapOp::Get { key } => MapResp::Value(self.get(key)),
+            MapOp::Contains { key } => MapResp::Bool(self.contains(key)),
+            MapOp::Len => MapResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &MapOp) -> MapResp {
+        match *op {
+            MapOp::Get { key } => MapResp::Value(self.get(key)),
+            MapOp::Contains { key } => MapResp::Bool(self.contains(key)),
+            MapOp::Len => MapResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &MapOp) -> bool {
+        matches!(op, MapOp::Get { .. } | MapOp::Contains { .. } | MapOp::Len)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.buckets.len() * std::mem::size_of::<Vec<(u64, u64)>>()
+            + self.len * std::mem::size_of::<(u64, u64)>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = HashMap::new();
+        assert_eq!(m.insert(1, 10), None);
+        assert_eq!(m.insert(2, 20), None);
+        assert_eq!(m.insert(1, 11), Some(10));
+        assert_eq!(m.get(1), Some(11));
+        assert_eq!(m.get(3), None);
+        assert!(m.contains(2));
+        assert_eq!(m.remove(2), Some(20));
+        assert_eq!(m.remove(2), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn resize_preserves_contents() {
+        let mut m = HashMap::with_buckets(2);
+        let before = m.bucket_count();
+        for k in 0..1000u64 {
+            m.insert(k, k * 2);
+        }
+        assert!(m.bucket_count() > before);
+        for k in 0..1000u64 {
+            assert_eq!(m.get(k), Some(k * 2), "key {k} lost in resize");
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn sequential_object_dispatch_and_read_only() {
+        let mut m = HashMap::new();
+        assert_eq!(
+            m.apply(&MapOp::Insert { key: 5, value: 7 }),
+            MapResp::Value(None)
+        );
+        assert_eq!(m.apply(&MapOp::Get { key: 5 }), MapResp::Value(Some(7)));
+        assert_eq!(m.apply(&MapOp::Contains { key: 5 }), MapResp::Bool(true));
+        assert_eq!(m.apply(&MapOp::Len), MapResp::Len(1));
+        assert!(HashMap::is_read_only(&MapOp::Get { key: 0 }));
+        assert!(HashMap::is_read_only(&MapOp::Len));
+        assert!(!HashMap::is_read_only(&MapOp::Insert { key: 0, value: 0 }));
+        assert!(!HashMap::is_read_only(&MapOp::Remove { key: 0 }));
+    }
+
+    #[test]
+    fn clone_object_is_independent() {
+        let mut a = HashMap::new();
+        a.insert(1, 1);
+        let mut b = a.clone_object();
+        b.insert(2, 2);
+        assert!(!a.contains(2));
+        assert!(b.contains(1));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut m = HashMap::new();
+        let empty = m.approx_bytes();
+        for k in 0..100 {
+            m.insert(k, k);
+        }
+        assert!(m.approx_bytes() > empty);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against std's HashMap over random op traces.
+        #[test]
+        fn matches_std_hashmap(ops in proptest::collection::vec(
+            (0u8..3, 0u64..64, any::<u64>()), 1..400))
+        {
+            let mut ours = HashMap::with_buckets(2);
+            let mut reference = std::collections::HashMap::new();
+            for (kind, k, v) in ops {
+                match kind {
+                    0 => prop_assert_eq!(ours.insert(k, v), reference.insert(k, v)),
+                    1 => prop_assert_eq!(ours.remove(k), reference.remove(&k)),
+                    _ => prop_assert_eq!(ours.get(k), reference.get(&k).copied()),
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+        }
+    }
+}

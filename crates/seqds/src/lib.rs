@@ -1,0 +1,84 @@
+//! Sequential data structures for the PREP-UC reproduction.
+//!
+//! A universal construction takes a **sequential** object and produces a
+//! concurrent (and, for PREP-UC, persistent) one. The paper's interface is
+//! `ExecuteConcurrent(op, args, is_read_only)`; the Rust equivalent is the
+//! [`SequentialObject`] trait, whose associated `Op` type plays the role of
+//! the paper's function-pointer-plus-arguments log entry (§5.2 explains why
+//! the C++ implementation stores raw function pointers and dispatches
+//! through a per-object `Execute` switch; a Rust enum *is* that switch, and
+//! unlike `std::function` it remains valid after recovery).
+//!
+//! Everything here is single-threaded code with no synchronization — that is
+//! the whole point: the universal constructions in `prep-nr` / `prep-uc` /
+//! `prep-cx` turn these into concurrent persistent objects without touching
+//! their code.
+//!
+//! The structures mirror the paper's evaluation (§6): a resizable
+//! chained [`hashmap::HashMap`], a [`rbtree::RbTree`] red-black tree, a
+//! [`pqueue::PriorityQueue`], a [`stack::Stack`], a FIFO [`queue::Queue`]
+//! (Figure 1c), and a sorted [`list::SortedList`] set. The
+//! [`recorder::Recorder`] is test instrumentation: its state is the exact
+//! sequence of update operations applied, which makes linearization-prefix
+//! properties directly checkable after a simulated crash.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hashmap;
+pub mod list;
+pub mod pqueue;
+pub mod queue;
+pub mod rbtree;
+pub mod recorder;
+pub mod stack;
+
+/// A sequential object that a universal construction can replicate.
+///
+/// Implementations must behave deterministically: `apply` on equal states
+/// with equal operations must produce equal results and equal successor
+/// states. The universal constructions rely on this to keep replicas
+/// identical (every replica applies the same log prefix).
+pub trait SequentialObject: Clone + Send + Sync + 'static {
+    /// An update or read-only operation, including its arguments. This is
+    /// what gets written to the shared log, so it must be plain shareable
+    /// data (and survives recovery by construction).
+    type Op: Clone + Send + Sync + std::fmt::Debug + 'static;
+    /// The response returned to the invoking thread.
+    type Resp: Send + std::fmt::Debug + 'static;
+
+    /// Applies `op`, mutating the object and returning the response.
+    fn apply(&mut self, op: &Self::Op) -> Self::Resp;
+
+    /// Applies a **read-only** `op` through a shared reference.
+    ///
+    /// NR executes read-only operations under the replica's reader-writer
+    /// lock in *read* mode (§3), so they need shared access. Implementations
+    /// must return exactly what [`SequentialObject::apply`] would.
+    ///
+    /// # Panics
+    /// Implementations panic if `op` is not read-only
+    /// (`is_read_only(op) == false`); the universal constructions never call
+    /// this with an update.
+    fn apply_readonly(&self, op: &Self::Op) -> Self::Resp;
+
+    /// True if `op` never mutates the object. Read-only operations bypass
+    /// the log (they execute against an up-to-date replica under a read
+    /// lock). This is the paper's "optional Boolean argument" on
+    /// `ExecuteConcurrent`.
+    fn is_read_only(op: &Self::Op) -> bool;
+
+    /// Deep copy, used to instantiate replicas (at construction and during
+    /// recovery, §5.1: "we instantiate all N volatile replicas as copies of
+    /// the stable persistent replica"). Defaults to `Clone`.
+    fn clone_object(&self) -> Self
+    where
+        Self: Sized,
+    {
+        self.clone()
+    }
+
+    /// Rough current size in bytes, used by the persistence cost model
+    /// (WBINVD footprint, CX's whole-replica flush).
+    fn approx_bytes(&self) -> u64;
+}

@@ -1,0 +1,286 @@
+//! A sorted singly-linked list set.
+//!
+//! Unlike the other structures this one allocates a node per element
+//! (`Box`-chained), which makes it the structure of choice for exercising
+//! the paper's allocator-swap mechanism (§5.1): when the persistence thread
+//! applies list operations with the persistent allocator enabled, every node
+//! it creates lands in the persistent arena without this file knowing
+//! anything about persistence.
+
+use crate::SequentialObject;
+
+/// Operations on [`SortedList`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert a key; false if already present.
+    Insert(u64),
+    /// Remove a key; false if absent.
+    Remove(u64),
+    /// Membership test (read-only).
+    Contains(u64),
+    /// Current size (read-only).
+    Len,
+}
+
+/// Responses for [`SetOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetResp {
+    /// Success/failure of the operation.
+    Bool(bool),
+    /// Element count.
+    Len(usize),
+}
+
+#[derive(Debug, Clone)]
+struct ListNode {
+    key: u64,
+    next: Option<Box<ListNode>>,
+}
+
+/// A sorted singly-linked list of unique `u64` keys.
+#[derive(Debug, Default)]
+pub struct SortedList {
+    head: Option<Box<ListNode>>,
+    len: usize,
+}
+
+impl Clone for SortedList {
+    fn clone(&self) -> Self {
+        // Iterative deep copy: a derived clone would recurse once per node
+        // and overflow the stack on long lists.
+        let mut out = SortedList::new();
+        let mut tail = &mut out.head;
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            *tail = Some(Box::new(ListNode {
+                key: node.key,
+                next: None,
+            }));
+            tail = &mut tail.as_mut().unwrap().next;
+            cur = node.next.as_deref();
+        }
+        out.len = self.len;
+        out
+    }
+}
+
+impl SortedList {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key`; returns false if it was already present.
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut cursor = &mut self.head;
+        loop {
+            match cursor {
+                Some(node) if node.key < key => {
+                    cursor = &mut cursor.as_mut().unwrap().next;
+                }
+                Some(node) if node.key == key => return false,
+                _ => break,
+            }
+        }
+        let next = cursor.take();
+        *cursor = Some(Box::new(ListNode { key, next }));
+        self.len += 1;
+        true
+    }
+
+    /// Removes `key`; returns false if it was absent.
+    pub fn remove(&mut self, key: u64) -> bool {
+        let mut cursor = &mut self.head;
+        loop {
+            match cursor {
+                Some(node) if node.key < key => {
+                    cursor = &mut cursor.as_mut().unwrap().next;
+                }
+                Some(node) if node.key == key => {
+                    let next = node.next.take();
+                    *cursor = next;
+                    self.len -= 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            if node.key == key {
+                return true;
+            }
+            if node.key > key {
+                return false;
+            }
+            cur = node.next.as_deref();
+        }
+        false
+    }
+
+    /// Keys in ascending order (test/diagnostic helper).
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            out.push(node.key);
+            cur = node.next.as_deref();
+        }
+        out
+    }
+}
+
+impl Drop for SortedList {
+    fn drop(&mut self) {
+        // Iterative drop: the derived recursive drop overflows the stack on
+        // long lists.
+        let mut cur = self.head.take();
+        while let Some(mut node) = cur {
+            cur = node.next.take();
+        }
+    }
+}
+
+impl SequentialObject for SortedList {
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn apply(&mut self, op: &SetOp) -> SetResp {
+        match *op {
+            SetOp::Insert(k) => SetResp::Bool(self.insert(k)),
+            SetOp::Remove(k) => SetResp::Bool(self.remove(k)),
+            SetOp::Contains(k) => SetResp::Bool(self.contains(k)),
+            SetOp::Len => SetResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &SetOp) -> SetResp {
+        match *op {
+            SetOp::Contains(k) => SetResp::Bool(self.contains(k)),
+            SetOp::Len => SetResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &SetOp) -> bool {
+        matches!(op, SetOp::Contains(_) | SetOp::Len)
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.len * std::mem::size_of::<ListNode>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_sorted_unique() {
+        let mut l = SortedList::new();
+        assert!(l.insert(5));
+        assert!(l.insert(1));
+        assert!(l.insert(9));
+        assert!(!l.insert(5), "duplicate insert must fail");
+        assert_eq!(l.to_vec(), vec![1, 5, 9]);
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn remove_head_middle_tail_and_missing() {
+        let mut l = SortedList::new();
+        for k in [1u64, 2, 3, 4, 5] {
+            l.insert(k);
+        }
+        assert!(l.remove(1)); // head
+        assert!(l.remove(3)); // middle
+        assert!(l.remove(5)); // tail
+        assert!(!l.remove(9)); // missing
+        assert_eq!(l.to_vec(), vec![2, 4]);
+    }
+
+    #[test]
+    fn contains_uses_sorted_early_exit() {
+        let mut l = SortedList::new();
+        l.insert(10);
+        l.insert(20);
+        assert!(l.contains(10));
+        assert!(!l.contains(15));
+        assert!(!l.contains(25));
+    }
+
+    #[test]
+    fn clone_object_is_deep_and_ordered() {
+        let mut a = SortedList::new();
+        for k in [3u64, 1, 2] {
+            a.insert(k);
+        }
+        let mut b = a.clone_object();
+        b.remove(2);
+        assert_eq!(a.to_vec(), vec![1, 2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 3]);
+    }
+
+    #[test]
+    fn long_list_drops_without_stack_overflow() {
+        let mut l = SortedList::new();
+        // Descending inserts hit the head in O(1), so building a very long
+        // list is cheap; dropping it must not recurse.
+        for k in (0..200_000u64).rev() {
+            l.insert(k);
+        }
+        assert_eq!(l.len(), 200_000);
+        drop(l);
+    }
+
+    #[test]
+    fn dispatch_and_read_only() {
+        let mut l = SortedList::new();
+        assert_eq!(l.apply(&SetOp::Insert(7)), SetResp::Bool(true));
+        assert_eq!(l.apply(&SetOp::Contains(7)), SetResp::Bool(true));
+        assert_eq!(l.apply(&SetOp::Len), SetResp::Len(1));
+        assert_eq!(l.apply(&SetOp::Remove(7)), SetResp::Bool(true));
+        assert!(SortedList::is_read_only(&SetOp::Contains(0)));
+        assert!(!SortedList::is_read_only(&SetOp::Insert(0)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against BTreeSet; also checks sorted order.
+        #[test]
+        fn matches_btreeset(ops in proptest::collection::vec(
+            (0u8..3, 0u64..32), 1..200))
+        {
+            let mut ours = SortedList::new();
+            let mut reference = std::collections::BTreeSet::new();
+            for (kind, k) in ops {
+                match kind {
+                    0 => prop_assert_eq!(ours.insert(k), reference.insert(k)),
+                    1 => prop_assert_eq!(ours.remove(k), reference.remove(&k)),
+                    _ => prop_assert_eq!(ours.contains(k), reference.contains(&k)),
+                }
+            }
+            let expect: Vec<u64> = reference.into_iter().collect();
+            prop_assert_eq!(ours.to_vec(), expect);
+        }
+    }
+}

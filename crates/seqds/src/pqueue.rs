@@ -1,0 +1,229 @@
+//! A binary max-heap priority queue (paper §6 "Priority Queue": the
+//! sequential implementation there is C++ `std::priority_queue`, a binary
+//! max-heap over a vector — reimplemented here rather than wrapping
+//! `BinaryHeap` so the heap property is test-visible).
+
+use crate::SequentialObject;
+
+/// Operations on [`PriorityQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqOp {
+    /// Insert a value.
+    Enqueue(u64),
+    /// Remove and return the maximum.
+    Dequeue,
+    /// Read the maximum without removing it (read-only).
+    Peek,
+    /// Current size (read-only).
+    Len,
+}
+
+/// Responses for [`PqOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqResp {
+    /// Enqueue acknowledgement.
+    Ok,
+    /// Dequeued or peeked value (None when empty).
+    Value(Option<u64>),
+    /// Element count.
+    Len(usize),
+}
+
+/// A binary max-heap of `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct PriorityQueue {
+    heap: Vec<u64>,
+}
+
+impl PriorityQueue {
+    /// Creates an empty priority queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Inserts `v`.
+    pub fn enqueue(&mut self, v: u64) {
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the maximum element.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let top = self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    /// Returns the maximum element without removing it.
+    pub fn peek(&self) -> Option<u64> {
+        self.heap.first().copied()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] <= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < n && self.heap[l] > self.heap[largest] {
+                largest = l;
+            }
+            if r < n && self.heap[r] > self.heap[largest] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Panics if the max-heap property is violated anywhere.
+    pub fn check_invariants(&self) {
+        for i in 1..self.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                self.heap[parent] >= self.heap[i],
+                "heap property violated at index {i}"
+            );
+        }
+    }
+}
+
+impl SequentialObject for PriorityQueue {
+    type Op = PqOp;
+    type Resp = PqResp;
+
+    fn apply(&mut self, op: &PqOp) -> PqResp {
+        match *op {
+            PqOp::Enqueue(v) => {
+                self.enqueue(v);
+                PqResp::Ok
+            }
+            PqOp::Dequeue => PqResp::Value(self.dequeue()),
+            PqOp::Peek => PqResp::Value(self.peek()),
+            PqOp::Len => PqResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &PqOp) -> PqResp {
+        match *op {
+            PqOp::Peek => PqResp::Value(self.peek()),
+            PqOp::Len => PqResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &PqOp) -> bool {
+        matches!(op, PqOp::Peek | PqOp::Len)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.heap.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dequeues_in_descending_order() {
+        let mut pq = PriorityQueue::new();
+        for v in [5u64, 1, 9, 3, 7, 7, 2] {
+            pq.enqueue(v);
+            pq.check_invariants();
+        }
+        let mut out = Vec::new();
+        while let Some(v) = pq.dequeue() {
+            out.push(v);
+            pq.check_invariants();
+        }
+        assert_eq!(out, vec![9, 7, 7, 5, 3, 2, 1]);
+        assert_eq!(pq.dequeue(), None);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut pq = PriorityQueue::new();
+        pq.enqueue(4);
+        pq.enqueue(6);
+        assert_eq!(pq.peek(), Some(6));
+        assert_eq!(pq.len(), 2);
+        assert_eq!(pq.dequeue(), Some(6));
+        assert_eq!(pq.peek(), Some(4));
+    }
+
+    #[test]
+    fn sequential_object_dispatch() {
+        let mut pq = PriorityQueue::new();
+        assert_eq!(pq.apply(&PqOp::Enqueue(3)), PqResp::Ok);
+        assert_eq!(pq.apply(&PqOp::Peek), PqResp::Value(Some(3)));
+        assert_eq!(pq.apply(&PqOp::Len), PqResp::Len(1));
+        assert_eq!(pq.apply(&PqOp::Dequeue), PqResp::Value(Some(3)));
+        assert!(PriorityQueue::is_read_only(&PqOp::Peek));
+        assert!(!PriorityQueue::is_read_only(&PqOp::Enqueue(0)));
+        assert!(!PriorityQueue::is_read_only(&PqOp::Dequeue));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against std::collections::BinaryHeap.
+        #[test]
+        fn matches_binary_heap(ops in proptest::collection::vec(
+            (any::<bool>(), any::<u64>()), 1..300))
+        {
+            let mut ours = PriorityQueue::new();
+            let mut reference = std::collections::BinaryHeap::new();
+            for (enq, v) in ops {
+                if enq {
+                    ours.enqueue(v);
+                    reference.push(v);
+                } else {
+                    prop_assert_eq!(ours.dequeue(), reference.pop());
+                }
+                prop_assert_eq!(ours.peek(), reference.peek().copied());
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+            ours.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A FIFO queue (paper Figure 1c: "100% update workload where workers
+//! execute pairs of enqueue and dequeue operations").
+
+use std::collections::VecDeque;
+
+use crate::SequentialObject;
+
+/// Operations on [`Queue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Append a value at the tail.
+    Enqueue(u64),
+    /// Remove the value at the head.
+    Dequeue,
+    /// Read the head without removing it (read-only).
+    Front,
+    /// Current size (read-only).
+    Len,
+}
+
+/// Responses for [`QueueOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueResp {
+    /// Enqueue acknowledgement.
+    Ok,
+    /// Dequeued or inspected value (None when empty).
+    Value(Option<u64>),
+    /// Element count.
+    Len(usize),
+}
+
+/// A ring-buffer FIFO queue of `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct Queue {
+    items: VecDeque<u64>,
+}
+
+impl Queue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `v` at the tail.
+    pub fn enqueue(&mut self, v: u64) {
+        self.items.push_back(v);
+    }
+
+    /// Removes and returns the head.
+    pub fn dequeue(&mut self) -> Option<u64> {
+        self.items.pop_front()
+    }
+
+    /// Reads the head without removing it.
+    pub fn front(&self) -> Option<u64> {
+        self.items.front().copied()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialObject for Queue {
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn apply(&mut self, op: &QueueOp) -> QueueResp {
+        match *op {
+            QueueOp::Enqueue(v) => {
+                self.enqueue(v);
+                QueueResp::Ok
+            }
+            QueueOp::Dequeue => QueueResp::Value(self.dequeue()),
+            QueueOp::Front => QueueResp::Value(self.front()),
+            QueueOp::Len => QueueResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &QueueOp) -> QueueResp {
+        match *op {
+            QueueOp::Front => QueueResp::Value(self.front()),
+            QueueOp::Len => QueueResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &QueueOp) -> bool {
+        matches!(op, QueueOp::Front | QueueOp::Len)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.items.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = Queue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.front(), Some(1));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn dispatch_and_read_only() {
+        let mut q = Queue::new();
+        assert_eq!(q.apply(&QueueOp::Enqueue(5)), QueueResp::Ok);
+        assert_eq!(q.apply(&QueueOp::Front), QueueResp::Value(Some(5)));
+        assert_eq!(q.apply(&QueueOp::Len), QueueResp::Len(1));
+        assert_eq!(q.apply(&QueueOp::Dequeue), QueueResp::Value(Some(5)));
+        assert!(Queue::is_read_only(&QueueOp::Front));
+        assert!(!Queue::is_read_only(&QueueOp::Enqueue(0)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::SequentialObject;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against a model VecDeque over random traces,
+        /// including agreement between apply and apply_readonly.
+        #[test]
+        fn matches_model_deque(ops in proptest::collection::vec(
+            (0u8..3, any::<u64>()), 1..300))
+        {
+            let mut ours = Queue::new();
+            let mut reference: std::collections::VecDeque<u64> =
+                std::collections::VecDeque::new();
+            for (kind, v) in ops {
+                match kind {
+                    0 => {
+                        ours.enqueue(v);
+                        reference.push_back(v);
+                    }
+                    1 => prop_assert_eq!(ours.dequeue(), reference.pop_front()),
+                    _ => {
+                        prop_assert_eq!(ours.front(), reference.front().copied());
+                        prop_assert_eq!(
+                            ours.apply_readonly(&QueueOp::Len),
+                            QueueResp::Len(reference.len())
+                        );
+                    }
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! A red-black tree map (paper §6 "Red-black Tree").
+//!
+//! Classic CLRS red-black tree with parent pointers and a black sentinel,
+//! stored in an index arena (`Vec<Node>` with `u32` links and a free list).
+//! The arena representation keeps `clone_object` a plain memcpy-style clone
+//! and keeps "pointers" (indexes) valid across recovery without any
+//! relocation concerns.
+//!
+//! Reuses [`MapOp`]/[`MapResp`] from the hashmap module so the benchmark
+//! harness can swap map implementations under the same workload.
+
+use crate::hashmap::{MapOp, MapResp};
+use crate::SequentialObject;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Color {
+    Red,
+    Black,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    value: u64,
+    left: u32,
+    right: u32,
+    parent: u32,
+    color: Color,
+}
+
+/// Index of the sentinel "nil" node (always black; its fields are scratch).
+const NIL: u32 = 0;
+
+/// A red-black tree map from `u64` to `u64`.
+#[derive(Debug, Clone)]
+pub struct RbTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl RbTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RbTree {
+            nodes: vec![Node {
+                key: 0,
+                value: 0,
+                left: NIL,
+                right: NIL,
+                parent: NIL,
+                color: Color::Black,
+            }],
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn n(&self, i: u32) -> &Node {
+        &self.nodes[i as usize]
+    }
+
+    #[inline]
+    fn nm(&mut self, i: u32) -> &mut Node {
+        &mut self.nodes[i as usize]
+    }
+
+    fn alloc(&mut self, key: u64, value: u64) -> u32 {
+        let node = Node {
+            key,
+            value,
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            color: Color::Red,
+        };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut x = self.root;
+        while x != NIL {
+            let node = self.n(x);
+            x = match key.cmp(&node.key) {
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+                std::cmp::Ordering::Equal => return Some(node.value),
+            };
+        }
+        None
+    }
+
+    /// Membership test.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn left_rotate(&mut self, x: u32) {
+        let y = self.n(x).right;
+        let yl = self.n(y).left;
+        self.nm(x).right = yl;
+        if yl != NIL {
+            self.nm(yl).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).left == x {
+            self.nm(xp).left = y;
+        } else {
+            self.nm(xp).right = y;
+        }
+        self.nm(y).left = x;
+        self.nm(x).parent = y;
+    }
+
+    fn right_rotate(&mut self, x: u32) {
+        let y = self.n(x).left;
+        let yr = self.n(y).right;
+        self.nm(x).left = yr;
+        if yr != NIL {
+            self.nm(yr).parent = x;
+        }
+        let xp = self.n(x).parent;
+        self.nm(y).parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.n(xp).right == x {
+            self.nm(xp).right = y;
+        } else {
+            self.nm(xp).left = y;
+        }
+        self.nm(y).right = x;
+        self.nm(x).parent = y;
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let mut y = NIL;
+        let mut x = self.root;
+        while x != NIL {
+            y = x;
+            let node = self.n(x);
+            x = match key.cmp(&node.key) {
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+                std::cmp::Ordering::Equal => {
+                    return Some(std::mem::replace(&mut self.nm(x).value, value));
+                }
+            };
+        }
+        let z = self.alloc(key, value);
+        self.nm(z).parent = y;
+        if y == NIL {
+            self.root = z;
+        } else if key < self.n(y).key {
+            self.nm(y).left = z;
+        } else {
+            self.nm(y).right = z;
+        }
+        self.len += 1;
+        self.insert_fixup(z);
+        None
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.n(self.n(z).parent).color == Color::Red {
+            let zp = self.n(z).parent;
+            let zpp = self.n(zp).parent;
+            if zp == self.n(zpp).left {
+                let uncle = self.n(zpp).right;
+                if self.n(uncle).color == Color::Red {
+                    self.nm(zp).color = Color::Black;
+                    self.nm(uncle).color = Color::Black;
+                    self.nm(zpp).color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).right {
+                        z = zp;
+                        self.left_rotate(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).color = Color::Black;
+                    self.nm(zpp).color = Color::Red;
+                    self.right_rotate(zpp);
+                }
+            } else {
+                let uncle = self.n(zpp).left;
+                if self.n(uncle).color == Color::Red {
+                    self.nm(zp).color = Color::Black;
+                    self.nm(uncle).color = Color::Black;
+                    self.nm(zpp).color = Color::Red;
+                    z = zpp;
+                } else {
+                    if z == self.n(zp).left {
+                        z = zp;
+                        self.right_rotate(z);
+                    }
+                    let zp = self.n(z).parent;
+                    let zpp = self.n(zp).parent;
+                    self.nm(zp).color = Color::Black;
+                    self.nm(zpp).color = Color::Red;
+                    self.left_rotate(zpp);
+                }
+            }
+        }
+        let r = self.root;
+        self.nm(r).color = Color::Black;
+    }
+
+    fn minimum(&self, mut x: u32) -> u32 {
+        while self.n(x).left != NIL {
+            x = self.n(x).left;
+        }
+        x
+    }
+
+    fn transplant(&mut self, u: u32, v: u32) {
+        let up = self.n(u).parent;
+        if up == NIL {
+            self.root = v;
+        } else if u == self.n(up).left {
+            self.nm(up).left = v;
+        } else {
+            self.nm(up).right = v;
+        }
+        // CLRS: assign unconditionally — the sentinel's parent is scratch
+        // space that delete_fixup relies on.
+        self.nm(v).parent = up;
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let mut z = self.root;
+        while z != NIL {
+            let node = self.n(z);
+            z = match key.cmp(&node.key) {
+                std::cmp::Ordering::Less => node.left,
+                std::cmp::Ordering::Greater => node.right,
+                std::cmp::Ordering::Equal => break,
+            };
+        }
+        if z == NIL {
+            return None;
+        }
+        let removed = self.n(z).value;
+
+        let mut y = z;
+        let mut y_color = self.n(y).color;
+        let x;
+        if self.n(z).left == NIL {
+            x = self.n(z).right;
+            self.transplant(z, x);
+        } else if self.n(z).right == NIL {
+            x = self.n(z).left;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.n(z).right);
+            y_color = self.n(y).color;
+            x = self.n(y).right;
+            if self.n(y).parent == z {
+                self.nm(x).parent = y;
+            } else {
+                self.transplant(y, x);
+                let zr = self.n(z).right;
+                self.nm(y).right = zr;
+                self.nm(zr).parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.n(z).left;
+            self.nm(y).left = zl;
+            self.nm(zl).parent = y;
+            self.nm(y).color = self.n(z).color;
+        }
+        if y_color == Color::Black {
+            self.delete_fixup(x);
+        }
+        self.free.push(z);
+        self.len -= 1;
+        Some(removed)
+    }
+
+    fn delete_fixup(&mut self, mut x: u32) {
+        while x != self.root && self.n(x).color == Color::Black {
+            let xp = self.n(x).parent;
+            if x == self.n(xp).left {
+                let mut w = self.n(xp).right;
+                if self.n(w).color == Color::Red {
+                    self.nm(w).color = Color::Black;
+                    self.nm(xp).color = Color::Red;
+                    self.left_rotate(xp);
+                    w = self.n(xp).right;
+                }
+                if self.n(self.n(w).left).color == Color::Black
+                    && self.n(self.n(w).right).color == Color::Black
+                {
+                    self.nm(w).color = Color::Red;
+                    x = xp;
+                } else {
+                    if self.n(self.n(w).right).color == Color::Black {
+                        let wl = self.n(w).left;
+                        self.nm(wl).color = Color::Black;
+                        self.nm(w).color = Color::Red;
+                        self.right_rotate(w);
+                        w = self.n(xp).right;
+                    }
+                    self.nm(w).color = self.n(xp).color;
+                    self.nm(xp).color = Color::Black;
+                    let wr = self.n(w).right;
+                    self.nm(wr).color = Color::Black;
+                    self.left_rotate(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.n(xp).left;
+                if self.n(w).color == Color::Red {
+                    self.nm(w).color = Color::Black;
+                    self.nm(xp).color = Color::Red;
+                    self.right_rotate(xp);
+                    w = self.n(xp).left;
+                }
+                if self.n(self.n(w).right).color == Color::Black
+                    && self.n(self.n(w).left).color == Color::Black
+                {
+                    self.nm(w).color = Color::Red;
+                    x = xp;
+                } else {
+                    if self.n(self.n(w).left).color == Color::Black {
+                        let wr = self.n(w).right;
+                        self.nm(wr).color = Color::Black;
+                        self.nm(w).color = Color::Red;
+                        self.left_rotate(w);
+                        w = self.n(xp).left;
+                    }
+                    self.nm(w).color = self.n(xp).color;
+                    self.nm(xp).color = Color::Black;
+                    let wl = self.n(w).left;
+                    self.nm(wl).color = Color::Black;
+                    self.right_rotate(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.nm(x).color = Color::Black;
+    }
+
+    /// Checks every red-black invariant; returns the tree's black height.
+    ///
+    /// Exposed (not `cfg(test)`) so integration tests can validate replica
+    /// states after crash recovery.
+    ///
+    /// # Panics
+    /// Panics if any invariant is violated.
+    pub fn check_invariants(&self) -> usize {
+        assert_eq!(
+            self.n(NIL).color,
+            Color::Black,
+            "sentinel must stay black"
+        );
+        if self.root == NIL {
+            assert_eq!(self.len, 0);
+            return 0;
+        }
+        assert_eq!(self.n(self.root).color, Color::Black, "root must be black");
+        let (bh, count) = self.check_subtree(self.root, None, None);
+        assert_eq!(count, self.len, "len does not match node count");
+        bh
+    }
+
+    fn check_subtree(&self, x: u32, lo: Option<u64>, hi: Option<u64>) -> (usize, usize) {
+        if x == NIL {
+            return (1, 0);
+        }
+        let node = self.n(x);
+        if let Some(lo) = lo {
+            assert!(node.key > lo, "BST order violated");
+        }
+        if let Some(hi) = hi {
+            assert!(node.key < hi, "BST order violated");
+        }
+        if node.color == Color::Red {
+            assert_eq!(
+                self.n(node.left).color,
+                Color::Black,
+                "red node with red left child"
+            );
+            assert_eq!(
+                self.n(node.right).color,
+                Color::Black,
+                "red node with red right child"
+            );
+        }
+        if node.left != NIL {
+            assert_eq!(self.n(node.left).parent, x, "broken parent link");
+        }
+        if node.right != NIL {
+            assert_eq!(self.n(node.right).parent, x, "broken parent link");
+        }
+        let (lbh, lc) = self.check_subtree(node.left, lo, Some(node.key));
+        let (rbh, rc) = self.check_subtree(node.right, Some(node.key), hi);
+        assert_eq!(lbh, rbh, "black-height mismatch");
+        let own = if node.color == Color::Black { 1 } else { 0 };
+        (lbh + own, lc + rc + 1)
+    }
+}
+
+impl Default for RbTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SequentialObject for RbTree {
+    type Op = MapOp;
+    type Resp = MapResp;
+
+    fn apply(&mut self, op: &MapOp) -> MapResp {
+        match *op {
+            MapOp::Insert { key, value } => MapResp::Value(self.insert(key, value)),
+            MapOp::Remove { key } => MapResp::Value(self.remove(key)),
+            MapOp::Get { key } => MapResp::Value(self.get(key)),
+            MapOp::Contains { key } => MapResp::Bool(self.contains(key)),
+            MapOp::Len => MapResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &MapOp) -> MapResp {
+        match *op {
+            MapOp::Get { key } => MapResp::Value(self.get(key)),
+            MapOp::Contains { key } => MapResp::Bool(self.contains(key)),
+            MapOp::Len => MapResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &MapOp) -> bool {
+        matches!(op, MapOp::Get { .. } | MapOp::Contains { .. } | MapOp::Len)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.nodes.len() * std::mem::size_of::<Node>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get_remove() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.insert(3, 30), None);
+        assert_eq!(t.insert(8, 80), None);
+        assert_eq!(t.insert(5, 55), Some(50));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(5), Some(55));
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.remove(3), Some(30));
+        assert_eq!(t.remove(3), None);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions_stay_balanced() {
+        let mut t = RbTree::new();
+        for k in 0..1024u64 {
+            t.insert(k, k);
+            if k % 128 == 0 {
+                t.check_invariants();
+            }
+        }
+        let bh = t.check_invariants();
+        // Black height of a 1024-node RB tree is at most ~log2(n)+1.
+        assert!(bh <= 11, "black height {bh} too large");
+
+        let mut t = RbTree::new();
+        for k in (0..1024u64).rev() {
+            t.insert(k, k);
+        }
+        t.check_invariants();
+        for k in 0..1024u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn removal_in_every_order_preserves_invariants() {
+        for stride in [1u64, 3, 7, 11] {
+            let mut t = RbTree::new();
+            for k in 0..200u64 {
+                t.insert(k, k);
+            }
+            let mut k = 0u64;
+            for _ in 0..200 {
+                assert!(t.remove(k % 200).is_some() || t.get(k % 200).is_none());
+                t.check_invariants();
+                k += stride;
+            }
+        }
+    }
+
+    #[test]
+    fn node_slots_are_reused_after_free() {
+        let mut t = RbTree::new();
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        let cap = t.nodes.len();
+        for k in 0..100u64 {
+            t.remove(k);
+        }
+        for k in 100..200u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.nodes.len(), cap, "free list not reused");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clone_object_is_deep() {
+        let mut a = RbTree::new();
+        a.insert(1, 1);
+        let mut b = a.clone_object();
+        b.insert(2, 2);
+        b.remove(1);
+        assert!(a.contains(1));
+        assert!(!a.contains(2));
+        a.check_invariants();
+        b.check_invariants();
+    }
+
+    #[test]
+    fn sequential_object_read_only_classification() {
+        assert!(RbTree::is_read_only(&MapOp::Contains { key: 1 }));
+        assert!(!RbTree::is_read_only(&MapOp::Remove { key: 1 }));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against BTreeMap with invariant checks.
+        #[test]
+        fn matches_btreemap(ops in proptest::collection::vec(
+            (0u8..3, 0u64..48, any::<u64>()), 1..300))
+        {
+            let mut ours = RbTree::new();
+            let mut reference = std::collections::BTreeMap::new();
+            for (kind, k, v) in ops {
+                match kind {
+                    0 => prop_assert_eq!(ours.insert(k, v), reference.insert(k, v)),
+                    1 => prop_assert_eq!(ours.remove(k), reference.remove(&k)),
+                    _ => prop_assert_eq!(ours.get(k), reference.get(&k).copied()),
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+            ours.check_invariants();
+        }
+    }
+}

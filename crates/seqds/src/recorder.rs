@@ -1,0 +1,159 @@
+//! The crash-test instrument: an object whose state *is* its history.
+//!
+//! [`Recorder`] applies update operations by appending their unique ids to a
+//! vector. After a simulated crash, the recovered recorder's state is
+//! literally the sequence of update operations that survived — so the
+//! correctness conditions become direct assertions:
+//!
+//! * **buffered durable linearizability** ⇔ the recovered sequence is a
+//!   *prefix* of the linearization order (the log order);
+//! * **durable linearizability** ⇔ that prefix additionally contains every
+//!   operation that completed before the crash;
+//! * the **`ε + β − 1` loss bound** ⇔ `completed − recovered ≤ ε + β − 1`.
+
+use crate::SequentialObject;
+
+/// Operations on [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecorderOp {
+    /// Append a unique operation id (update).
+    Record(u64),
+    /// Read the number of recorded ops (read-only).
+    Count,
+    /// Read the last recorded id (read-only).
+    Last,
+}
+
+/// Responses for [`RecorderOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecorderResp {
+    /// The index at which the id was recorded (0-based).
+    RecordedAt(u64),
+    /// Number of recorded operations.
+    Count(u64),
+    /// Last recorded id, if any.
+    Last(Option<u64>),
+}
+
+/// An append-only history object.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    history: Vec<u64>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded history, in application order.
+    pub fn history(&self) -> &[u64] {
+        &self.history
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.history.len() as u64
+    }
+}
+
+impl SequentialObject for Recorder {
+    type Op = RecorderOp;
+    type Resp = RecorderResp;
+
+    fn apply(&mut self, op: &RecorderOp) -> RecorderResp {
+        match *op {
+            RecorderOp::Record(id) => {
+                self.history.push(id);
+                RecorderResp::RecordedAt(self.history.len() as u64 - 1)
+            }
+            RecorderOp::Count => RecorderResp::Count(self.count()),
+            RecorderOp::Last => RecorderResp::Last(self.history.last().copied()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &RecorderOp) -> RecorderResp {
+        match *op {
+            RecorderOp::Count => RecorderResp::Count(self.count()),
+            RecorderOp::Last => RecorderResp::Last(self.history.last().copied()),
+            RecorderOp::Record(_) => {
+                panic!("apply_readonly called with update operation {op:?}")
+            }
+        }
+    }
+
+    fn is_read_only(op: &RecorderOp) -> bool {
+        matches!(op, RecorderOp::Count | RecorderOp::Last)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.history.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+/// Asserts that `recovered` is a prefix of `reference`, returning its
+/// length. Used by crash tests on recorder histories.
+///
+/// # Panics
+/// Panics (with a diagnostic) if `recovered` is not a prefix.
+pub fn assert_prefix(recovered: &[u64], reference: &[u64]) -> usize {
+    assert!(
+        recovered.len() <= reference.len(),
+        "recovered history ({}) longer than reference ({})",
+        recovered.len(),
+        reference.len()
+    );
+    for (i, (r, e)) in recovered.iter().zip(reference).enumerate() {
+        assert_eq!(
+            r, e,
+            "recovered history diverges from linearization order at index {i}"
+        );
+    }
+    recovered.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_reports_indexes() {
+        let mut r = Recorder::new();
+        assert_eq!(r.apply(&RecorderOp::Record(10)), RecorderResp::RecordedAt(0));
+        assert_eq!(r.apply(&RecorderOp::Record(20)), RecorderResp::RecordedAt(1));
+        assert_eq!(r.history(), &[10, 20]);
+        assert_eq!(r.apply(&RecorderOp::Count), RecorderResp::Count(2));
+        assert_eq!(r.apply(&RecorderOp::Last), RecorderResp::Last(Some(20)));
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(Recorder::is_read_only(&RecorderOp::Count));
+        assert!(Recorder::is_read_only(&RecorderOp::Last));
+        assert!(!Recorder::is_read_only(&RecorderOp::Record(0)));
+    }
+
+    #[test]
+    fn prefix_assertion_accepts_prefixes() {
+        assert_eq!(assert_prefix(&[], &[1, 2, 3]), 0);
+        assert_eq!(assert_prefix(&[1, 2], &[1, 2, 3]), 2);
+        assert_eq!(assert_prefix(&[1, 2, 3], &[1, 2, 3]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverges")]
+    fn prefix_assertion_rejects_divergence() {
+        assert_prefix(&[1, 9], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than reference")]
+    fn prefix_assertion_rejects_overlong() {
+        assert_prefix(&[1, 2, 3, 4], &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! A LIFO stack (paper §6 "Stack").
+
+use crate::SequentialObject;
+
+/// Operations on [`Stack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the top value.
+    Pop,
+    /// Read the top value (read-only).
+    Top,
+    /// Current size (read-only).
+    Len,
+}
+
+/// Responses for [`StackOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackResp {
+    /// Push acknowledgement.
+    Ok,
+    /// Popped or inspected value (None when empty).
+    Value(Option<u64>),
+    /// Element count.
+    Len(usize),
+}
+
+/// A vector-backed stack of `u64`.
+#[derive(Debug, Clone, Default)]
+pub struct Stack {
+    items: Vec<u64>,
+}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes `v`.
+    pub fn push(&mut self, v: u64) {
+        self.items.push(v);
+    }
+
+    /// Pops the most recently pushed value.
+    pub fn pop(&mut self) -> Option<u64> {
+        self.items.pop()
+    }
+
+    /// Reads the top without removing it.
+    pub fn top(&self) -> Option<u64> {
+        self.items.last().copied()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl SequentialObject for Stack {
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn apply(&mut self, op: &StackOp) -> StackResp {
+        match *op {
+            StackOp::Push(v) => {
+                self.push(v);
+                StackResp::Ok
+            }
+            StackOp::Pop => StackResp::Value(self.pop()),
+            StackOp::Top => StackResp::Value(self.top()),
+            StackOp::Len => StackResp::Len(self.len()),
+        }
+    }
+
+    fn apply_readonly(&self, op: &StackOp) -> StackResp {
+        match *op {
+            StackOp::Top => StackResp::Value(self.top()),
+            StackOp::Len => StackResp::Len(self.len()),
+            _ => panic!("apply_readonly called with update operation {op:?}"),
+        }
+    }
+
+    fn is_read_only(op: &StackOp) -> bool {
+        matches!(op, StackOp::Top | StackOp::Len)
+    }
+
+    fn clone_object(&self) -> Self {
+        self.clone()
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        (self.items.len() * std::mem::size_of::<u64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = Stack::new();
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.top(), Some(3));
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn dispatch_and_read_only() {
+        let mut s = Stack::new();
+        assert_eq!(s.apply(&StackOp::Push(9)), StackResp::Ok);
+        assert_eq!(s.apply(&StackOp::Top), StackResp::Value(Some(9)));
+        assert_eq!(s.apply(&StackOp::Len), StackResp::Len(1));
+        assert_eq!(s.apply(&StackOp::Pop), StackResp::Value(Some(9)));
+        assert!(Stack::is_read_only(&StackOp::Top));
+        assert!(!Stack::is_read_only(&StackOp::Pop));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::SequentialObject;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential test against Vec over random push/pop/top traces,
+        /// including agreement between apply and apply_readonly.
+        #[test]
+        fn matches_vec(ops in proptest::collection::vec(
+            (0u8..3, any::<u64>()), 1..300))
+        {
+            let mut ours = Stack::new();
+            let mut reference: Vec<u64> = Vec::new();
+            for (kind, v) in ops {
+                match kind {
+                    0 => {
+                        ours.push(v);
+                        reference.push(v);
+                    }
+                    1 => prop_assert_eq!(ours.pop(), reference.pop()),
+                    _ => {
+                        prop_assert_eq!(ours.top(), reference.last().copied());
+                        prop_assert_eq!(
+                            ours.apply_readonly(&StackOp::Top),
+                            StackResp::Value(reference.last().copied())
+                        );
+                    }
+                }
+                prop_assert_eq!(ours.len(), reference.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Writer-preference reader-writer spin lock.
+//!
+//! This is the per-replica reader-writer lock of NR-UC (§3): the combiner
+//! claims it in write mode to apply log entries; read-only operations claim
+//! it in read mode. Writer preference matters here — the combiner is applying
+//! updates *on behalf of every thread on the node*, so letting a stream of
+//! readers starve it would stall the whole node.
+//!
+//! Layout of the 64-bit state word:
+//!
+//! ```text
+//! bit 63        : writer holds the lock
+//! bits 32..48   : count of writers waiting to acquire
+//! bits  0..32   : count of readers holding the lock
+//! ```
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::Waiter;
+
+const WRITER: u64 = 1 << 63;
+const WAITING_UNIT: u64 = 1 << 32;
+const WAITING_MASK: u64 = 0xffff << 32;
+const READER_MASK: u64 = (1 << 32) - 1;
+
+/// A writer-preference reader-writer spin lock guarding a `T`.
+///
+/// ```
+/// use prep_sync::RwSpinLock;
+/// let lock = RwSpinLock::new(vec![1, 2, 3]);
+/// {
+///     let r1 = lock.read();
+///     let r2 = lock.read(); // readers share
+///     assert_eq!(r1.len() + r2.len(), 6);
+/// }
+/// lock.write().push(4);
+/// assert_eq!(lock.read().len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct RwSpinLock<T> {
+    state: CachePadded<AtomicU64>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: readers get shared access, the writer exclusive access; standard
+// RwLock bounds (T: Send + Sync for Sync because readers on multiple threads
+// may alias &T).
+unsafe impl<T: Send> Send for RwSpinLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwSpinLock<T> {}
+
+impl<T> RwSpinLock<T> {
+    /// Creates an unlocked lock around `value`.
+    pub fn new(value: T) -> Self {
+        RwSpinLock {
+            state: CachePadded::new(AtomicU64::new(0)),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquires the lock in read (shared) mode, blocking politely.
+    ///
+    /// Readers defer to both an active writer and any *waiting* writers
+    /// (writer preference).
+    pub fn read(&self) -> RwSpinReadGuard<'_, T> {
+        let mut w = Waiter::new();
+        loop {
+            if let Some(g) = self.try_read() {
+                return g;
+            }
+            w.wait();
+        }
+    }
+
+    /// Attempts to acquire the lock in read mode without blocking.
+    #[inline]
+    pub fn try_read(&self) -> Option<RwSpinReadGuard<'_, T>> {
+        let s = self.state.load(Ordering::Relaxed);
+        if s & (WRITER | WAITING_MASK) != 0 {
+            return None;
+        }
+        debug_assert!(s & READER_MASK < READER_MASK, "reader count overflow");
+        if self
+            .state
+            .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(RwSpinReadGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Acquires the lock in write (exclusive) mode, blocking politely.
+    pub fn write(&self) -> RwSpinWriteGuard<'_, T> {
+        // Announce intent so new readers hold off.
+        self.state.fetch_add(WAITING_UNIT, Ordering::Relaxed);
+        let mut w = Waiter::new();
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & WRITER == 0 && s & READER_MASK == 0 {
+                // Convert one waiting slot into the active-writer bit.
+                let target = (s - WAITING_UNIT) | WRITER;
+                if self
+                    .state
+                    .compare_exchange_weak(s, target, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return RwSpinWriteGuard { lock: self };
+                }
+            }
+            w.wait();
+        }
+    }
+
+    /// Attempts to acquire the lock in write mode without blocking.
+    #[inline]
+    pub fn try_write(&self) -> Option<RwSpinWriteGuard<'_, T>> {
+        let s = self.state.load(Ordering::Relaxed);
+        if s & WRITER != 0 || s & READER_MASK != 0 {
+            return None;
+        }
+        if self
+            .state
+            .compare_exchange(s, s | WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(RwSpinWriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the number of readers currently holding the lock (advisory).
+    pub fn reader_count(&self) -> u64 {
+        self.state.load(Ordering::Relaxed) & READER_MASK
+    }
+
+    /// Returns a mutable reference to the protected data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+
+    /// Consumes the lock, returning the protected data.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+/// Shared-mode RAII guard for [`RwSpinLock`].
+#[derive(Debug)]
+pub struct RwSpinReadGuard<'a, T> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T> std::ops::Deref for RwSpinReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: shared guard; no writer can be active while readers hold.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwSpinReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive-mode RAII guard for [`RwSpinLock`].
+#[derive(Debug)]
+pub struct RwSpinWriteGuard<'a, T> {
+    lock: &'a RwSpinLock<T>,
+}
+
+impl<T> std::ops::Deref for RwSpinWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive guard.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwSpinWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwSpinWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.state.fetch_and(!WRITER, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let lock = RwSpinLock::new(5u64);
+        let r1 = lock.try_read().unwrap();
+        let r2 = lock.try_read().unwrap();
+        assert_eq!(lock.reader_count(), 2);
+        assert!(lock.try_write().is_none());
+        drop((r1, r2));
+        let w = lock.try_write().unwrap();
+        assert!(lock.try_read().is_none());
+        assert!(lock.try_write().is_none());
+        drop(w);
+        assert!(lock.try_read().is_some());
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let lock = Arc::new(RwSpinLock::new(0u64));
+        let r = lock.read();
+        let l2 = Arc::clone(&lock);
+        let writer = thread::spawn(move || {
+            *l2.write() = 1;
+        });
+        // Wait until the writer has registered its intent.
+        crate::spin_until(|| lock.state.load(Ordering::Relaxed) & WAITING_MASK != 0);
+        // Writer preference: a new reader must now fail.
+        assert!(lock.try_read().is_none());
+        drop(r);
+        writer.join().unwrap();
+        assert_eq!(*lock.read(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 500;
+        let lock = Arc::new(RwSpinLock::new(0usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let mut g = lock.write();
+                        let v = *g;
+                        *g = v + 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), THREADS * ITERS);
+    }
+
+    #[test]
+    fn readers_observe_consistent_snapshots() {
+        // Writer keeps the two halves of a pair equal; readers must never
+        // observe them mid-update.
+        let lock = Arc::new(RwSpinLock::new((0u64, 0u64)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let wl = Arc::clone(&lock);
+        let ws = Arc::clone(&stop);
+        let writer = thread::spawn(move || {
+            let mut i = 0u64;
+            while !ws.load(Ordering::Relaxed) {
+                let mut g = wl.write();
+                g.0 = i;
+                g.1 = i;
+                i += 1;
+            }
+        });
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let g = lock.read();
+                        assert_eq!(g.0, g.1, "torn read through RwSpinLock");
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}

@@ -1,0 +1,248 @@
+//! Strong try reader-writer lock.
+//!
+//! The CX universal construction of Correia et al. (the paper's baseline,
+//! §2.3) coordinates access to its 2n replicas with a *strong try*
+//! reader-writer lock: `try_*` operations never fail spuriously — if a try
+//! returns failure, the lock was genuinely held in a conflicting mode at some
+//! instant during the call. This lets CX threads scan the replica array and
+//! take the first available replica without ever blocking on a lock that is
+//! actually free.
+//!
+//! State: bit 63 = writer, low bits = reader count.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::Waiter;
+
+const WRITER: u64 = 1 << 63;
+const READER_MASK: u64 = WRITER - 1;
+
+/// A strong try reader-writer lock guarding a `T`.
+///
+/// ```
+/// use prep_sync::StrongTryRwLock;
+/// let lock = StrongTryRwLock::new(0u32);
+/// let w = lock.try_write().expect("free lock: strong try must succeed");
+/// assert!(lock.try_read().is_none());
+/// drop(w);
+/// assert!(lock.try_read().is_some());
+/// ```
+#[derive(Debug)]
+pub struct StrongTryRwLock<T> {
+    state: CachePadded<AtomicU64>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: standard RwLock bounds.
+unsafe impl<T: Send> Send for StrongTryRwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for StrongTryRwLock<T> {}
+
+impl<T> StrongTryRwLock<T> {
+    /// Creates an unlocked lock around `value`.
+    pub fn new(value: T) -> Self {
+        StrongTryRwLock {
+            state: CachePadded::new(AtomicU64::new(0)),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Attempts to acquire in write mode.
+    ///
+    /// Strong semantics: returns `None` only if the lock was observed held
+    /// (by a writer or ≥1 reader) during the call.
+    #[inline]
+    pub fn try_write(&self) -> Option<StrongTryWriteGuard<'_, T>> {
+        // A single strong CAS suffices: failure proves the state was nonzero
+        // (held) at the failure instant.
+        if self
+            .state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(StrongTryWriteGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Attempts to acquire in read mode.
+    ///
+    /// Strong semantics: only a *writer* causes failure. Interference from
+    /// other readers retries internally — another reader arriving is not a
+    /// conflicting mode.
+    #[inline]
+    pub fn try_read(&self) -> Option<StrongTryReadGuard<'_, T>> {
+        let mut s = self.state.load(Ordering::Relaxed);
+        loop {
+            if s & WRITER != 0 {
+                return None;
+            }
+            debug_assert!(s & READER_MASK < READER_MASK, "reader count overflow");
+            match self
+                .state
+                .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(StrongTryReadGuard { lock: self }),
+                Err(actual) => s = actual,
+            }
+        }
+    }
+
+    /// Acquires in read mode, blocking politely until no writer holds.
+    pub fn read(&self) -> StrongTryReadGuard<'_, T> {
+        let mut w = Waiter::new();
+        loop {
+            if let Some(g) = self.try_read() {
+                return g;
+            }
+            w.wait();
+        }
+    }
+
+    /// Acquires in write mode, blocking politely until fully free.
+    pub fn write(&self) -> StrongTryWriteGuard<'_, T> {
+        let mut w = Waiter::new();
+        loop {
+            if let Some(g) = self.try_write() {
+                return g;
+            }
+            w.wait();
+        }
+    }
+
+    /// Returns a mutable reference to the protected data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Shared-mode RAII guard for [`StrongTryRwLock`].
+#[derive(Debug)]
+pub struct StrongTryReadGuard<'a, T> {
+    lock: &'a StrongTryRwLock<T>,
+}
+
+impl<T> std::ops::Deref for StrongTryReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: shared guard held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for StrongTryReadGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive-mode RAII guard for [`StrongTryRwLock`].
+#[derive(Debug)]
+pub struct StrongTryWriteGuard<'a, T> {
+    lock: &'a StrongTryRwLock<T>,
+}
+
+impl<T> std::ops::Deref for StrongTryWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        // SAFETY: exclusive guard held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for StrongTryWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: exclusive guard held.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for StrongTryWriteGuard<'_, T> {
+    #[inline]
+    fn drop(&mut self) {
+        self.lock.state.fetch_and(!WRITER, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn try_write_fails_against_reader_and_writer() {
+        let lock = StrongTryRwLock::new(());
+        let r = lock.try_read().unwrap();
+        assert!(lock.try_write().is_none());
+        drop(r);
+        let w = lock.try_write().unwrap();
+        assert!(lock.try_write().is_none());
+        assert!(lock.try_read().is_none());
+        drop(w);
+    }
+
+    #[test]
+    fn try_read_succeeds_alongside_readers() {
+        let lock = StrongTryRwLock::new(());
+        let _r1 = lock.try_read().unwrap();
+        let _r2 = lock.try_read().unwrap();
+        let _r3 = lock.try_read().unwrap();
+        assert_eq!(lock.state.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn try_read_retries_through_reader_interference() {
+        // Hammer try_read from many threads with no writer present; every
+        // attempt must succeed (strong semantics: readers don't conflict).
+        const THREADS: usize = 8;
+        const ITERS: usize = 2000;
+        let lock = Arc::new(StrongTryRwLock::new(()));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let g = lock
+                            .try_read()
+                            .expect("try_read failed with no writer present");
+                        drop(g);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn writes_are_mutually_exclusive() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 500;
+        let lock = Arc::new(StrongTryRwLock::new(0usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..ITERS {
+                        let mut g = lock.write();
+                        *g += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.read(), THREADS * ITERS);
+    }
+}

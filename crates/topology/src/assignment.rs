@@ -1,0 +1,218 @@
+//! Worker-thread → (node, batch-slot) assignment.
+
+use crate::model::{CpuId, Topology};
+
+/// Placement of one worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPlacement {
+    /// Logical CPU the worker is (logically) bound to.
+    pub cpu: CpuId,
+    /// NUMA node — selects the NR replica this worker uses.
+    pub node: usize,
+    /// Slot in the node's flat-combining batch (dense per node, 0-based).
+    pub slot: usize,
+}
+
+/// An assignment of `workers` threads to the topology in paper fill order.
+///
+/// The assignment is what the universal constructions consume: it determines
+/// the replica count, the per-node batch capacity β, and each worker's batch
+/// slot. It is immutable once built — the paper binds threads to processors
+/// for the lifetime of the run.
+#[derive(Debug, Clone)]
+pub struct ThreadAssignment {
+    topology: Topology,
+    placements: Vec<WorkerPlacement>,
+    per_node: Vec<usize>,
+}
+
+impl ThreadAssignment {
+    pub(crate) fn new(topology: Topology, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(
+            workers <= topology.max_workers(),
+            "{workers} workers exceed the {} available (one CPU is reserved \
+             for the persistence thread)",
+            topology.max_workers()
+        );
+        let mut per_node = vec![0usize; topology.nodes()];
+        let mut placements = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let cpu = topology.cpu_at(i);
+            let slot = per_node[cpu.node];
+            per_node[cpu.node] += 1;
+            placements.push(WorkerPlacement {
+                cpu,
+                node: cpu.node,
+                slot,
+            });
+        }
+        ThreadAssignment {
+            topology,
+            placements,
+            per_node,
+        }
+    }
+
+    /// The topology this assignment was built from.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Full placement of worker `i`.
+    pub fn placement(&self, worker: usize) -> WorkerPlacement {
+        self.placements[worker]
+    }
+
+    /// NUMA node (replica index) of worker `i`.
+    pub fn node_of(&self, worker: usize) -> usize {
+        self.placements[worker].node
+    }
+
+    /// Batch slot of worker `i` within its node.
+    pub fn slot_of(&self, worker: usize) -> usize {
+        self.placements[worker].slot
+    }
+
+    /// Number of workers assigned to `node`.
+    pub fn workers_on_node(&self, node: usize) -> usize {
+        self.per_node[node]
+    }
+
+    /// Number of nodes that received at least one worker.
+    ///
+    /// The universal constructions only instantiate replicas for populated
+    /// nodes — a 4-thread run on the paper machine uses a single replica.
+    pub fn populated_nodes(&self) -> usize {
+        self.per_node.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// β: the flat-combining batch capacity, defined by the paper as "the
+    /// number of threads per NUMA node". We size batches to the most-loaded
+    /// node so every worker always has a slot.
+    pub fn beta(&self) -> usize {
+        *self.per_node.iter().max().expect("at least one node")
+    }
+
+    /// Iterates over all placements in worker order.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkerPlacement> {
+        self.placements.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_dense_per_node() {
+        let t = Topology::paper_machine();
+        let a = t.assign_workers(60);
+        // Node 0 gets workers 0..48 with slots 0..48; node 1 gets 48..60
+        // with slots 0..12.
+        for w in 0..48 {
+            assert_eq!(a.node_of(w), 0);
+            assert_eq!(a.slot_of(w), w);
+        }
+        for w in 48..60 {
+            assert_eq!(a.node_of(w), 1);
+            assert_eq!(a.slot_of(w), w - 48);
+        }
+        assert_eq!(a.workers_on_node(0), 48);
+        assert_eq!(a.workers_on_node(1), 12);
+        assert_eq!(a.beta(), 48);
+        assert_eq!(a.populated_nodes(), 2);
+    }
+
+    #[test]
+    fn single_node_run_uses_one_replica() {
+        let t = Topology::paper_machine();
+        let a = t.assign_workers(24);
+        assert_eq!(a.populated_nodes(), 1);
+        assert_eq!(a.beta(), 24);
+    }
+
+    #[test]
+    fn max_workers_accepted_and_reaches_last_node() {
+        let t = Topology::paper_machine();
+        let a = t.assign_workers(t.max_workers());
+        assert_eq!(a.workers(), 95);
+        assert_eq!(a.workers_on_node(0), 48);
+        assert_eq!(a.workers_on_node(1), 47);
+        assert_eq!(a.beta(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_workers_rejected() {
+        let t = Topology::small(); // 4 CPUs, max 3 workers
+        t.assign_workers(4);
+    }
+
+    #[test]
+    fn iter_matches_indexed_access() {
+        let t = Topology::new(2, 3, 1);
+        let a = t.assign_workers(5);
+        for (i, p) in a.iter().enumerate() {
+            assert_eq!(*p, a.placement(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any topology and worker count, β × populated nodes bounds the
+        /// worker count, per-node counts sum to the total, and slots are a
+        /// permutation of 0..count on each node.
+        #[test]
+        fn assignment_invariants(
+            nodes in 1usize..5,
+            cores in 1usize..9,
+            smt in 1usize..3,
+            frac in 0.01f64..1.0,
+        ) {
+            let t = Topology::new(nodes, cores, smt);
+            let max = t.max_workers();
+            prop_assume!(max >= 1);
+            let workers = ((max as f64 * frac).ceil() as usize).clamp(1, max);
+            let a = t.assign_workers(workers);
+
+            let total: usize = (0..nodes).map(|n| a.workers_on_node(n)).sum();
+            prop_assert_eq!(total, workers);
+            prop_assert!(a.beta() * a.populated_nodes() >= workers);
+
+            for node in 0..nodes {
+                let mut slots: Vec<usize> = (0..workers)
+                    .filter(|&w| a.node_of(w) == node)
+                    .map(|w| a.slot_of(w))
+                    .collect();
+                slots.sort_unstable();
+                let expect: Vec<usize> = (0..a.workers_on_node(node)).collect();
+                prop_assert_eq!(slots, expect);
+            }
+        }
+
+        /// The fill order never places a worker on node k+1 while node k has
+        /// an unused CPU.
+        #[test]
+        fn fill_order_is_node_monotone(workers in 1usize..95) {
+            let t = Topology::paper_machine();
+            let a = t.assign_workers(workers);
+            let mut max_node_seen = 0usize;
+            for w in 0..workers {
+                let n = a.node_of(w);
+                prop_assert!(n >= max_node_seen || a.workers_on_node(n) == t.cpus_per_node());
+                max_node_seen = max_node_seen.max(n);
+            }
+        }
+    }
+}

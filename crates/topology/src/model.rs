@@ -1,0 +1,193 @@
+//! The machine model: nodes × cores × SMT, and the paper's CPU fill order.
+
+use crate::assignment::ThreadAssignment;
+
+/// Identifies one logical CPU in the modelled machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuId {
+    /// NUMA node index.
+    pub node: usize,
+    /// Physical core index within the node.
+    pub core: usize,
+    /// SMT sibling index on that core (0 = primary hyperthread).
+    pub smt: usize,
+}
+
+/// A NUMA machine model: `nodes` sockets, each with `cores_per_node`
+/// physical cores carrying `smt_per_core` hardware threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    nodes: usize,
+    cores_per_node: usize,
+    smt_per_core: usize,
+}
+
+impl Topology {
+    /// Builds a topology model.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nodes: usize, cores_per_node: usize, smt_per_core: usize) -> Self {
+        assert!(nodes > 0, "topology needs at least one NUMA node");
+        assert!(cores_per_node > 0, "topology needs at least one core per node");
+        assert!(smt_per_core > 0, "topology needs at least one SMT thread per core");
+        Topology {
+            nodes,
+            cores_per_node,
+            smt_per_core,
+        }
+    }
+
+    /// The paper's evaluation machine: 2 × Intel Xeon Gold 5220R
+    /// (2 NUMA nodes, 24 cores each, 2-way SMT → 96 logical CPUs).
+    pub fn paper_machine() -> Self {
+        Topology::new(2, 24, 2)
+    }
+
+    /// A small topology convenient for tests: 2 nodes × 2 cores × 1 SMT.
+    pub fn small() -> Self {
+        Topology::new(2, 2, 1)
+    }
+
+    /// Number of NUMA nodes (= number of NR replicas).
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Physical cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.cores_per_node
+    }
+
+    /// SMT threads per core.
+    pub fn smt_per_core(&self) -> usize {
+        self.smt_per_core
+    }
+
+    /// Logical CPUs per node.
+    pub fn cpus_per_node(&self) -> usize {
+        self.cores_per_node * self.smt_per_core
+    }
+
+    /// Total logical CPUs in the machine.
+    pub fn logical_cpus(&self) -> usize {
+        self.nodes * self.cpus_per_node()
+    }
+
+    /// Maximum worker-thread count: one logical CPU is reserved for the
+    /// persistence thread (paper §6 uses "at most 95 of the 96 available
+    /// hardware threads as worker threads").
+    pub fn max_workers(&self) -> usize {
+        self.logical_cpus() - 1
+    }
+
+    /// The CPU reserved for the persistence thread: the last logical CPU in
+    /// the fill order, so it is the last to be claimed by workers.
+    pub fn persistence_cpu(&self) -> CpuId {
+        self.cpu_at(self.logical_cpus() - 1)
+    }
+
+    /// Maps a position in the paper's fill order to a CPU.
+    ///
+    /// Fill order (§6): all primary hyperthreads of node 0's cores, then node
+    /// 0's secondary hyperthreads, …, then the same for node 1, and so on.
+    ///
+    /// # Panics
+    /// Panics if `index >= logical_cpus()`.
+    pub fn cpu_at(&self, index: usize) -> CpuId {
+        assert!(
+            index < self.logical_cpus(),
+            "CPU index {index} out of range for {} logical CPUs",
+            self.logical_cpus()
+        );
+        let per_node = self.cpus_per_node();
+        let node = index / per_node;
+        let within = index % per_node;
+        let smt = within / self.cores_per_node;
+        let core = within % self.cores_per_node;
+        CpuId { node, core, smt }
+    }
+
+    /// NUMA node of the `index`-th CPU in fill order.
+    pub fn node_of_cpu_index(&self, index: usize) -> usize {
+        self.cpu_at(index).node
+    }
+
+    /// Assigns `workers` worker threads to CPUs in the paper's fill order.
+    ///
+    /// # Panics
+    /// Panics if `workers` exceeds [`Topology::max_workers`].
+    pub fn assign_workers(&self, workers: usize) -> ThreadAssignment {
+        ThreadAssignment::new(*self, workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_dimensions() {
+        let t = Topology::paper_machine();
+        assert_eq!(t.nodes(), 2);
+        assert_eq!(t.cpus_per_node(), 48);
+        assert_eq!(t.logical_cpus(), 96);
+        assert_eq!(t.max_workers(), 95);
+    }
+
+    #[test]
+    fn fill_order_matches_paper_ranges() {
+        let t = Topology::paper_machine();
+        // "experiments for up to 24 threads utilize the available processors
+        // on a single node" — primary hyperthreads of node 0.
+        for i in 0..24 {
+            let cpu = t.cpu_at(i);
+            assert_eq!((cpu.node, cpu.smt), (0, 0));
+            assert_eq!(cpu.core, i);
+        }
+        // "24 to 48 threads utilize all available processors and
+        // hyper-threads on a single node".
+        for i in 24..48 {
+            let cpu = t.cpu_at(i);
+            assert_eq!((cpu.node, cpu.smt), (0, 1));
+        }
+        // "49 to 72 and 72 to 96 do the same on the second node".
+        for i in 48..72 {
+            let cpu = t.cpu_at(i);
+            assert_eq!((cpu.node, cpu.smt), (1, 0));
+        }
+        for i in 72..96 {
+            let cpu = t.cpu_at(i);
+            assert_eq!((cpu.node, cpu.smt), (1, 1));
+        }
+    }
+
+    #[test]
+    fn persistence_cpu_is_last_in_fill_order() {
+        let t = Topology::paper_machine();
+        let p = t.persistence_cpu();
+        assert_eq!(p, CpuId { node: 1, core: 23, smt: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cpu_index_out_of_range_panics() {
+        Topology::small().cpu_at(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one NUMA node")]
+    fn zero_nodes_rejected() {
+        Topology::new(0, 1, 1);
+    }
+
+    #[test]
+    fn every_cpu_enumerated_exactly_once() {
+        let t = Topology::new(3, 4, 2);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..t.logical_cpus() {
+            assert!(seen.insert(t.cpu_at(i)), "duplicate CPU in fill order");
+        }
+        assert_eq!(seen.len(), 24);
+    }
+}

@@ -1,0 +1,93 @@
+//! Direct linearizability checking of the universal constructions: record
+//! small concurrent histories through `prep-checker`'s global-clock
+//! recorder and search for a valid linearization of each.
+
+use std::sync::Arc;
+
+use prep_checker::{check_linearizable, record_concurrent};
+use prep_nr::NodeReplicated;
+use prep_seqds::stack::{Stack, StackOp};
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: usize = 3;
+const OPS_PER_THREAD: usize = 5; // 15-op windows: cheap exhaustive search
+const WINDOWS: usize = 25;
+
+fn window_ops(seed: u64) -> impl Fn(usize, usize) -> StackOp + Sync {
+    move |t, i| {
+        let mut rng = SmallRng::seed_from_u64(seed ^ ((t as u64) << 8) ^ i as u64);
+        match rng.gen_range(0..4) {
+            0 | 1 => StackOp::Push(rng.gen_range(0..100)),
+            2 => StackOp::Pop,
+            _ => StackOp::Top,
+        }
+    }
+}
+
+#[test]
+fn nr_uc_histories_are_linearizable() {
+    for w in 0..WINDOWS {
+        let asg = Topology::new(2, 2, 1).assign_workers(THREADS);
+        let nr = NodeReplicated::new(Stack::new(), asg, 256);
+        let tokens: Vec<_> = (0..THREADS).map(|t| nr.register(t)).collect();
+        let history = record_concurrent::<Stack, _, _>(
+            THREADS,
+            OPS_PER_THREAD,
+            window_ops(w as u64),
+            |t, op| nr.execute(&tokens[t], op),
+        );
+        assert!(
+            check_linearizable(&Stack::new(), &history),
+            "NR-UC produced a non-linearizable history in window {w}: {history:#?}"
+        );
+    }
+}
+
+#[test]
+fn prep_buffered_histories_are_linearizable() {
+    for w in 0..WINDOWS {
+        let asg = Topology::new(2, 2, 1).assign_workers(THREADS);
+        let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+            .with_log_size(256)
+            .with_epsilon(8) // frequent persist cycles interleave with ops
+            .with_runtime(PmemRuntime::for_crash_tests());
+        let prep = Arc::new(PrepUc::new(Stack::new(), asg, cfg));
+        let tokens: Vec<_> = (0..THREADS).map(|t| prep.register(t)).collect();
+        let history = record_concurrent::<Stack, _, _>(
+            THREADS,
+            OPS_PER_THREAD,
+            window_ops(0xB00 + w as u64),
+            |t, op| prep.execute(&tokens[t], op),
+        );
+        assert!(
+            check_linearizable(&Stack::new(), &history),
+            "PREP-Buffered produced a non-linearizable history in window {w}: {history:#?}"
+        );
+    }
+}
+
+#[test]
+fn prep_durable_histories_are_linearizable() {
+    for w in 0..WINDOWS {
+        let asg = Topology::new(2, 2, 1).assign_workers(THREADS);
+        let cfg = PrepConfig::new(DurabilityLevel::Durable)
+            .with_log_size(256)
+            .with_epsilon(8)
+            .with_runtime(PmemRuntime::for_crash_tests());
+        let prep = Arc::new(PrepUc::new(Stack::new(), asg, cfg));
+        let tokens: Vec<_> = (0..THREADS).map(|t| prep.register(t)).collect();
+        let history = record_concurrent::<Stack, _, _>(
+            THREADS,
+            OPS_PER_THREAD,
+            window_ops(0xD00 + w as u64),
+            |t, op| prep.execute(&tokens[t], op),
+        );
+        assert!(
+            check_linearizable(&Stack::new(), &history),
+            "PREP-Durable produced a non-linearizable history in window {w}: {history:#?}"
+        );
+    }
+}

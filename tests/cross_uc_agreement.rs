@@ -1,0 +1,168 @@
+//! Cross-construction agreement: every universal construction in the
+//! workspace, fed the *same* operations under a single-writer-per-key
+//! discipline, must converge to the same abstract state — NR-UC,
+//! PREP-Buffered, PREP-Durable, CX-UC, CX-PUC, the global-lock UC, and the
+//! hand-crafted SOFT table all implement the same sequential map.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use prep_cx::{CxConfig, CxUc};
+use prep_nr::{GlobalLockUc, NodeReplicated};
+use prep_seqds::hashmap::{HashMap, MapOp};
+use prep_soft::SoftHashMap;
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: usize = 3;
+const OPS: usize = 1_200;
+
+/// Deterministic per-worker op tape over worker-owned keys.
+fn tape(w: usize) -> Vec<MapOp> {
+    let mut rng = SmallRng::seed_from_u64(42 + w as u64);
+    (0..OPS)
+        .map(|_| {
+            let key = rng.gen_range(0..96u64) * WORKERS as u64 + w as u64;
+            if rng.gen_bool(0.6) {
+                MapOp::Insert {
+                    key,
+                    value: rng.gen(),
+                }
+            } else {
+                MapOp::Remove { key }
+            }
+        })
+        .collect()
+}
+
+/// The expected final state: per-key, the last op on each worker's tape
+/// wins (keys are worker-owned, so cross-worker order is irrelevant).
+fn expected_state() -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for w in 0..WORKERS {
+        for op in tape(w) {
+            match op {
+                MapOp::Insert { key, value } => {
+                    m.insert(key, value);
+                }
+                MapOp::Remove { key } => {
+                    m.remove(&key);
+                }
+                _ => {}
+            }
+        }
+    }
+    m
+}
+
+fn dump(map: &HashMap) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for key in 0..(96 * WORKERS as u64) {
+        if let Some(v) = map.get(key) {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn run_tapes(execute: impl Fn(usize, MapOp) + Sync) {
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let execute = &execute;
+            s.spawn(move || {
+                for op in tape(w) {
+                    execute(w, op);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn all_constructions_converge_to_the_same_state() {
+    let expected = expected_state();
+    let asg = || Topology::new(2, 2, 1).assign_workers(WORKERS);
+
+    // NR-UC.
+    let nr = NodeReplicated::new(HashMap::new(), asg(), 256);
+    let tokens: Vec<_> = (0..WORKERS).map(|w| nr.register(w)).collect();
+    run_tapes(|w, op| {
+        nr.execute(&tokens[w], op);
+    });
+    assert_eq!(nr.with_replica(0, dump), expected, "NR-UC diverged");
+
+    // PREP, both levels.
+    for level in [DurabilityLevel::Buffered, DurabilityLevel::Durable] {
+        let cfg = PrepConfig::new(level)
+            .with_log_size(256)
+            .with_epsilon(32)
+            .with_runtime(PmemRuntime::for_crash_tests());
+        let prep = PrepUc::new(HashMap::new(), asg(), cfg);
+        let tokens: Vec<_> = (0..WORKERS).map(|w| prep.register(w)).collect();
+        run_tapes(|w, op| {
+            prep.execute(&tokens[w], op);
+        });
+        assert_eq!(
+            prep.with_replica(0, dump),
+            expected,
+            "PREP {level:?} diverged"
+        );
+    }
+
+    // Global lock.
+    let gl = GlobalLockUc::new(HashMap::new());
+    run_tapes(|_w, op| {
+        gl.execute(op);
+    });
+    assert_eq!(gl.with_object(dump), expected, "GlobalLockUc diverged");
+
+    // CX, volatile and persistent.
+    for persistent in [false, true] {
+        let cfg = if persistent {
+            CxConfig::persistent(WORKERS, PmemRuntime::for_crash_tests())
+        } else {
+            CxConfig::volatile(WORKERS)
+        };
+        let cx = CxUc::new(HashMap::new(), cfg);
+        run_tapes(|_w, op| {
+            cx.execute(op);
+        });
+        assert_eq!(
+            cx.with_latest(dump),
+            expected,
+            "CX (persistent={persistent}) diverged"
+        );
+    }
+
+    // SOFT (set-semantics insert: duplicates fail, so use insert-or-update
+    // emulation: remove then insert).
+    let soft = SoftHashMap::new(64, PmemRuntime::for_crash_tests());
+    run_tapes(|_w, op| match op {
+        MapOp::Insert { key, value } => {
+            soft.remove(key);
+            assert!(soft.insert(key, value));
+        }
+        MapOp::Remove { key } => {
+            let _ = soft.remove(key);
+        }
+        _ => {}
+    });
+    let mut got = BTreeMap::new();
+    for key in 0..(96 * WORKERS as u64) {
+        if let Some(v) = soft.get(key) {
+            got.insert(key, v);
+        }
+    }
+    assert_eq!(got, expected, "SOFT diverged");
+    // And SOFT's recovery image agrees with its volatile state.
+    let rec = soft.recover_contents();
+    assert_eq!(rec.len(), expected.len());
+    for (k, v) in &expected {
+        assert_eq!(rec.get(k), Some(v), "SOFT NVM image diverged at key {k}");
+    }
+
+    // Workers drop their Arcs; nothing left to assert.
+    let _ = Arc::new(());
+}

@@ -1,0 +1,144 @@
+//! Linearizability checks for the universal constructions.
+//!
+//! Two complementary strategies:
+//!
+//! 1. **Owned-key discipline** — each worker owns a disjoint key set, so
+//!    the responses it receives must match its own *sequential* expectation
+//!    exactly (any lost, duplicated, or reordered update would produce a
+//!    mismatching previous-value response).
+//! 2. **History-object checks** — the `Recorder` turns the object state
+//!    into the linearization order itself: ids must be exactly-once and
+//!    per-worker FIFO, and every read must observe at least the reader's
+//!    own completed updates (real-time order).
+
+use std::sync::Arc;
+
+use prep_cx::{CxConfig, CxUc};
+use prep_nr::NodeReplicated;
+use prep_seqds::hashmap::{HashMap, MapOp, MapResp};
+use prep_seqds::recorder::{Recorder, RecorderOp, RecorderResp};
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WORKERS: usize = 3;
+const OPS_PER_WORKER: usize = 2_000;
+
+/// Runs the owned-key discipline against an `execute` closure.
+fn owned_key_discipline(execute: impl Fn(usize, MapOp) -> MapResp + Sync) {
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let execute = &execute;
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(w as u64);
+                // This worker exclusively owns keys ≡ w (mod WORKERS).
+                let mut model = std::collections::HashMap::new();
+                for _ in 0..OPS_PER_WORKER {
+                    let key = (rng.gen_range(0..64u64)) * WORKERS as u64 + w as u64;
+                    if rng.gen_bool(0.5) {
+                        let value = rng.gen();
+                        let expect = model.insert(key, value);
+                        let got = execute(w, MapOp::Insert { key, value });
+                        assert_eq!(got, MapResp::Value(expect), "insert resp for key {key}");
+                    } else {
+                        let expect = model.remove(&key);
+                        let got = execute(w, MapOp::Remove { key });
+                        assert_eq!(got, MapResp::Value(expect), "remove resp for key {key}");
+                    }
+                    if rng.gen_bool(0.2) {
+                        let expect = model.get(&key).copied();
+                        let got = execute(w, MapOp::Get { key });
+                        assert_eq!(got, MapResp::Value(expect), "get resp for key {key}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn nr_uc_owned_key_responses_are_sequential() {
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let nr = NodeReplicated::new(HashMap::new(), asg, 256);
+    let tokens: Vec<_> = (0..WORKERS).map(|w| nr.register(w)).collect();
+    owned_key_discipline(|w, op| nr.execute(&tokens[w], op));
+}
+
+#[test]
+fn prep_buffered_owned_key_responses_are_sequential() {
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+        .with_log_size(256)
+        .with_epsilon(32)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    let prep = PrepUc::new(HashMap::new(), asg, cfg);
+    let tokens: Vec<_> = (0..WORKERS).map(|w| prep.register(w)).collect();
+    owned_key_discipline(|w, op| prep.execute(&tokens[w], op));
+}
+
+#[test]
+fn prep_durable_owned_key_responses_are_sequential() {
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(DurabilityLevel::Durable)
+        .with_log_size(256)
+        .with_epsilon(32)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    let prep = PrepUc::new(HashMap::new(), asg, cfg);
+    let tokens: Vec<_> = (0..WORKERS).map(|w| prep.register(w)).collect();
+    owned_key_discipline(|w, op| prep.execute(&tokens[w], op));
+}
+
+#[test]
+fn cx_puc_owned_key_responses_are_sequential() {
+    let cfg = CxConfig::persistent(WORKERS, PmemRuntime::for_crash_tests());
+    let cx = CxUc::new(HashMap::new(), cfg);
+    owned_key_discipline(|_w, op| cx.execute(op));
+}
+
+#[test]
+fn prep_reads_respect_real_time_order() {
+    // A read invoked after my update completes must observe it (through
+    // the Recorder's count).
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+        .with_log_size(256)
+        .with_epsilon(32)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    let prep = Arc::new(PrepUc::new(Recorder::new(), asg, cfg));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let prep = Arc::clone(&prep);
+            std::thread::spawn(move || {
+                let token = prep.register(w);
+                let mut mine = 0u64;
+                for i in 0..1_000u64 {
+                    prep.execute(&token, RecorderOp::Record((w as u64) << 32 | i));
+                    mine += 1;
+                    match prep.execute(&token, RecorderOp::Count) {
+                        RecorderResp::Count(c) => assert!(
+                            c >= mine,
+                            "worker {w}: read observed {c} < own completed {mine}"
+                        ),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Exactly-once, per-worker FIFO over the full history.
+    prep.with_replica(0, |r| {
+        let mut next = [0u64; WORKERS];
+        let mut seen = std::collections::HashSet::new();
+        for id in r.history() {
+            assert!(seen.insert(*id), "duplicate id");
+            let w = (id >> 32) as usize;
+            assert_eq!(id & 0xffff_ffff, next[w], "per-worker FIFO violated");
+            next[w] += 1;
+        }
+        assert_eq!(r.count(), (WORKERS * 1_000) as u64);
+    });
+}

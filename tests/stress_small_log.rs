@@ -1,0 +1,116 @@
+//! Small-log stress: drive every construction through thousands of log
+//! wrap-arounds with maximum reclamation pressure (tiny log, tiny ε), the
+//! regime where the emptyBit parity, logMin helping, and flush-boundary
+//! backpressure interact hardest.
+
+use std::sync::Arc;
+
+use prep_seqds::rbtree::RbTree;
+use prep_seqds::recorder::{Recorder, RecorderOp};
+use prep_seqds::hashmap::MapOp;
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
+
+fn stress_prep(level: DurabilityLevel, log: u64, eps: u64, per_thread: u64) {
+    const WORKERS: usize = 3;
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(level)
+        .with_log_size(log)
+        .with_epsilon(eps)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    let prep = Arc::new(PrepUc::new(Recorder::new(), asg, cfg));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let prep = Arc::clone(&prep);
+            std::thread::spawn(move || {
+                let token = prep.register(w);
+                for i in 0..per_thread {
+                    prep.execute(&token, RecorderOp::Record((w as u64) << 32 | i));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let total = WORKERS as u64 * per_thread;
+    assert_eq!(prep.completed_tail(), total);
+    prep.with_replica(0, |r| assert_eq!(r.count(), total));
+    assert!(
+        prep.inner().log().log_tail() / log >= 2,
+        "test must actually wrap the log multiple times"
+    );
+}
+
+#[test]
+fn buffered_survives_thousands_of_wraps() {
+    // log 32, β=2 per node → minimum admissible; ε=8 forces a persist
+    // roughly every quarter lap.
+    stress_prep(DurabilityLevel::Buffered, 32, 8, 2_000);
+}
+
+#[test]
+fn durable_survives_thousands_of_wraps() {
+    stress_prep(DurabilityLevel::Durable, 32, 8, 2_000);
+}
+
+#[test]
+fn buffered_with_minimum_epsilon_makes_progress() {
+    // ε = 1: a persist-and-swap round trip for every single update —
+    // pathological but legal, and must not deadlock the gate/persistence
+    // handshake. Kept small: with the bound-preserving boundary advance
+    // (flushBoundary = persistedTail + ε), every operation genuinely waits
+    // for a persist cycle, so throughput here is persist-latency-bound by
+    // design.
+    stress_prep(DurabilityLevel::Buffered, 32, 1, 150);
+}
+
+#[test]
+fn rbtree_replicas_stay_valid_under_wrap_pressure() {
+    const WORKERS: usize = 2;
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(DurabilityLevel::Durable)
+        .with_log_size(64)
+        .with_epsilon(16)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    let prep = Arc::new(PrepUc::new(RbTree::new(), asg, cfg));
+    let handles: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let prep = Arc::clone(&prep);
+            std::thread::spawn(move || {
+                let token = prep.register(w);
+                for i in 0..1_500u64 {
+                    let key = (i * 7 + w as u64 * 3) % 512;
+                    if i % 3 == 0 {
+                        prep.execute(&token, MapOp::Remove { key });
+                    } else {
+                        prep.execute(&token, MapOp::Insert { key, value: i });
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Every replica holds a structurally valid red-black tree and all
+    // replicas agree.
+    let reference = prep.with_replica(0, |t| {
+        t.check_invariants();
+        t.len()
+    });
+    // Crash + recover: the recovered tree is also valid.
+    let (token, image) = prep.simulate_crash();
+    let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
+    let cfg = PrepConfig::new(DurabilityLevel::Durable)
+        .with_log_size(64)
+        .with_epsilon(16)
+        .with_runtime(PmemRuntime::for_crash_tests());
+    drop(prep);
+    let recovered = PrepUc::recover(token, image, asg, cfg);
+    let rec_len = recovered.with_replica(0, |t| {
+        t.check_invariants();
+        t.len()
+    });
+    assert_eq!(rec_len, reference, "durable recovery lost tree entries");
+}
