@@ -36,7 +36,12 @@ fn recovery_scaling(opts: &RunOpts) {
     println!("== Extension A: recovery cost vs object lifetime (PREP-Durable vs ONLL)");
     println!(
         "{:<14} {:>12} {:>16} {:>14} {:>16} {:>14}",
-        "lifetime_ops", "live_keys", "prep_replay_ops", "prep_rec_ms", "onll_replay_ops", "onll_rec_ms"
+        "lifetime_ops",
+        "live_keys",
+        "prep_replay_ops",
+        "prep_rec_ms",
+        "onll_replay_ops",
+        "onll_rec_ms"
     );
     let lifetimes: &[u64] = if opts.full {
         &[10_000, 100_000, 1_000_000]

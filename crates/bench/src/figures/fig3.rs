@@ -22,10 +22,7 @@ pub fn epsilon_sweep(opts: &RunOpts) -> Vec<u64> {
 pub fn run(opts: &RunOpts) {
     let topo = topology(opts);
     let keys = opts.key_range();
-    report::banner(
-        "Figure 3",
-        "effect of epsilon: PREP hashmap, 90% read-only",
-    );
+    report::banner("Figure 3", "effect of epsilon: PREP hashmap, 90% read-only");
     for eps in epsilon_sweep(opts) {
         for &threads in &thread_sweep(opts) {
             for (level, name) in [

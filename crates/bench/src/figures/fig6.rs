@@ -19,11 +19,12 @@ pub fn run(opts: &RunOpts) {
     let topo = topology(opts);
     let keys = opts.key_range();
     let (_, eps_large) = opts.epsilons();
-    report::banner(
-        "Figure 6",
-        "PREP hashmap vs hand-crafted SOFT hashtable",
-    );
-    let (b_small, b_large) = if opts.full { (1_000, 10_000) } else { (64, 512) };
+    report::banner("Figure 6", "PREP hashmap vs hand-crafted SOFT hashtable");
+    let (b_small, b_large) = if opts.full {
+        (1_000, 10_000)
+    } else {
+        (64, 512)
+    };
 
     for read_pct in [90u32, 50] {
         for &threads in &thread_sweep(opts) {

@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod shard;
 
 use std::sync::Arc;
 
@@ -62,10 +63,7 @@ pub fn bench_runtime(opts: &RunOpts) -> Arc<PmemRuntime> {
 }
 
 /// Uniform-key map op stream factory.
-pub fn map_stream(
-    read_pct: u32,
-    key_range: u64,
-) -> impl Fn(usize) -> OpStream<MapOp> + Sync {
+pub fn map_stream(read_pct: u32, key_range: u64) -> impl Fn(usize) -> OpStream<MapOp> + Sync {
     move |w| {
         let mut g = MapOpGen::new(read_pct, key_range, w);
         Box::new(move || g.next_op())

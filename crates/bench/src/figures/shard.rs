@@ -1,0 +1,76 @@
+//! Extension figure: shard-count scaling — `prep-shard` hashmap throughput
+//! at a fixed thread count as the store is partitioned over 1, 2, and 4
+//! independent PREP-UC shards.
+//!
+//! One PREP-UC serializes every update through one log; partitioning adds
+//! logs (and persistence threads), so update throughput should rise with
+//! shard count until the worker threads, not the logs, are the bottleneck.
+//! Each shard runs its own cost-only runtime here, so the per-shard rows
+//! show how evenly the router spreads flush/fence work across partitions.
+
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::run_sharded;
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+/// Shard counts swept (the acceptance sweep: 1, 2, 4).
+pub fn shard_sweep() -> Vec<usize> {
+    vec![1, 2, 4]
+}
+
+/// Runs the shard-count sweep.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    let keys = opts.key_range();
+    // Fixed thread count (the sweep variable is shards): the largest of the
+    // requested thread counts, so the logs are actually contended.
+    let threads = *thread_sweep(opts).last().expect("non-empty thread sweep");
+    report::shard_banner(
+        "Extension",
+        "shard-count scaling: sharded PREP hashmap, 50% read-only, fixed threads",
+    );
+    for shards in shard_sweep() {
+        for (level, name) in [
+            (DurabilityLevel::Buffered, "SHARD-Buffered"),
+            (DurabilityLevel::Durable, "SHARD-Durable"),
+        ] {
+            let cfg = PrepConfig::new(level)
+                .with_log_size(opts.log_size())
+                .with_epsilon(opts.epsilons().0)
+                .with_runtime(bench_runtime(opts));
+            let cell = run_sharded(
+                prefilled_hashmap(keys),
+                shards,
+                cfg,
+                topo,
+                threads,
+                opts.seconds,
+                map_stream(50, keys),
+                |op| op.key().unwrap_or(0),
+            );
+            let panel = format!("shards={shards}");
+            report::shard_summary_row(
+                &panel,
+                name,
+                threads,
+                cell.m.ops_per_sec(),
+                cell.total_updates(),
+                cell.flushes_per_update(),
+                cell.fences_per_update(),
+            );
+            for (s, lane) in cell.shards.iter().enumerate() {
+                report::shard_lane_row(
+                    &panel,
+                    name,
+                    s,
+                    lane.updates,
+                    lane.flushes_per_update(),
+                    lane.fences_per_update(),
+                );
+            }
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p prep-bench --release -- <figure> [options]
 //!
-//! figures:  fig1 fig2 fig3 fig4 fig5 fig6 ablation extension all
+//! figures:  fig1 fig2 fig3 fig4 fig5 fig6 ablation extension shard all
 //! options:
 //!   --full            paper-scale parameters (1M keys, 10 s trials, 95 threads)
 //!   --threads a,b,c   worker-thread sweep (default quick: 1,2,4,7)
@@ -17,12 +17,11 @@
 use prep_bench::{figures, RunOpts};
 
 #[global_allocator]
-static ALLOC: prep_pmem::alloc::SwappableAllocator =
-    prep_pmem::alloc::SwappableAllocator::new();
+static ALLOC: prep_pmem::alloc::SwappableAllocator = prep_pmem::alloc::SwappableAllocator::new();
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prep-bench <fig1|fig2|fig3|fig4|fig5|fig6|ablation|extension|all> \
+        "usage: prep-bench <fig1|fig2|fig3|fig4|fig5|fig6|ablation|extension|shard|all> \
          [--full] [--threads a,b,c] [--seconds S] [--ds hashmap|rbtree]"
     );
     std::process::exit(2);
@@ -35,7 +34,11 @@ fn main() {
     }
     let which = args[0].clone();
     let full = args.iter().any(|a| a == "--full");
-    let mut opts = if full { RunOpts::full() } else { RunOpts::default() };
+    let mut opts = if full {
+        RunOpts::full()
+    } else {
+        RunOpts::default()
+    };
 
     let mut i = 1;
     while i < args.len() {
@@ -85,6 +88,7 @@ fn main() {
         "fig6" => figures::fig6::run(&opts),
         "ablation" => figures::ablation::run(&opts),
         "extension" => figures::extension::run(&opts),
+        "shard" => figures::shard::run(&opts),
         "all" => {
             figures::fig1::run(&opts);
             figures::fig2::run(&opts);
@@ -94,6 +98,7 @@ fn main() {
             figures::fig6::run(&opts);
             figures::ablation::run(&opts);
             figures::extension::run(&opts);
+            figures::shard::run(&opts);
         }
         _ => usage(),
     }

@@ -1,6 +1,38 @@
-//! Tabular output for the figure drivers.
+//! Tabular output for the figure drivers, and the [`Phase`] accounting
+//! helper every measurement window uses.
+
+use std::sync::Arc;
+
+use prep_pmem::{PmemRuntime, PmemStatsSnapshot};
 
 use crate::targets::CellResult;
+
+/// Persistence accounting for one measurement phase: snapshots a runtime's
+/// counters at construction and yields the per-field delta on demand via
+/// [`PmemStatsSnapshot::delta`]. Replaces the hand-rolled
+/// `before`/`delta_since` pairs at every adapter call site — and per-shard
+/// accounting is just one `Phase` per shard runtime.
+#[derive(Debug)]
+pub struct Phase {
+    runtime: Arc<PmemRuntime>,
+    start: PmemStatsSnapshot,
+}
+
+impl Phase {
+    /// Starts accounting against `runtime` now.
+    pub fn start(runtime: &Arc<PmemRuntime>) -> Self {
+        Phase {
+            runtime: Arc::clone(runtime),
+            start: runtime.stats().snapshot(),
+        }
+    }
+
+    /// The persistence work done since [`Phase::start`] (non-consuming, so
+    /// a driver can sample mid-phase and at the end).
+    pub fn finish(&self) -> PmemStatsSnapshot {
+        self.runtime.stats().snapshot().delta(&self.start)
+    }
+}
 
 /// Prints a figure's title banner.
 pub fn banner(fig: &str, description: &str) {
@@ -24,6 +56,54 @@ pub fn row(panel: &str, series: &str, cell: &CellResult) {
         cell.flushes_per_op(),
         cell.fences_per_op(),
         cell.stats.wbinvd,
+    );
+}
+
+/// Prints the shard-sweep figure's title banner (per-shard columns).
+pub fn shard_banner(fig: &str, description: &str) {
+    println!();
+    println!("== {fig}: {description}");
+    println!(
+        "{:<10} {:<16} {:>7} {:>6} {:>14} {:>12} {:>10} {:>10}",
+        "panel", "series", "threads", "shard", "ops/sec", "updates", "flush/op", "fence/op"
+    );
+}
+
+/// Prints a shard sweep's whole-store summary row.
+pub fn shard_summary_row(
+    panel: &str,
+    series: &str,
+    threads: usize,
+    ops_per_sec: f64,
+    total_updates: u64,
+    flushes_per_update: f64,
+    fences_per_update: f64,
+) {
+    println!(
+        "{:<10} {:<16} {:>7} {:>6} {:>14.0} {:>12} {:>10.3} {:>10.3}",
+        panel,
+        series,
+        threads,
+        "all",
+        ops_per_sec,
+        total_updates,
+        flushes_per_update,
+        fences_per_update,
+    );
+}
+
+/// Prints one shard's accounting row within a sweep cell.
+pub fn shard_lane_row(
+    panel: &str,
+    series: &str,
+    shard: usize,
+    updates: u64,
+    flushes_per_update: f64,
+    fences_per_update: f64,
+) {
+    println!(
+        "{:<10} {:<16} {:>7} {:>6} {:>14} {:>12} {:>10.3} {:>10.3}",
+        panel, series, "", shard, "", updates, flushes_per_update, fences_per_update,
     );
 }
 

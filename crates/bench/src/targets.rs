@@ -11,6 +11,9 @@ use prep_soft::SoftHashMap;
 use prep_topology::Topology;
 use prep_uc::{PrepConfig, PrepUc};
 
+use prep_shard::ShardedStore;
+
+use crate::report::Phase;
 use crate::runner::{measure, Measurement};
 use crate::workload::MapOpGen;
 
@@ -70,7 +73,7 @@ where
     let rt = Arc::clone(&cfg.runtime);
     let asg = topo.assign_workers(threads);
     let prep = PrepUc::new(obj, asg, cfg);
-    let before = rt.stats().snapshot();
+    let phase = Phase::start(&rt);
     let prep_ref = &prep;
     let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
         let token = prep_ref.register(w);
@@ -79,7 +82,7 @@ where
             prep_ref.execute(&token, ops());
         })
     });
-    let stats = rt.stats().snapshot().delta_since(&before);
+    let stats = phase.finish();
     drop(prep);
     CellResult { m, stats }
 }
@@ -133,8 +136,7 @@ where
     T: SequentialObject,
     G: Fn(usize) -> OpStream<T::Op> + Sync,
 {
-    let rt = cfg.persistence.clone();
-    let before = rt.as_ref().map(|r| r.stats().snapshot());
+    let phase = cfg.persistence.as_ref().map(Phase::start);
     let cx = CxUc::new(obj, cfg);
     let m = measure(threads, Duration::from_secs_f64(secs), |w| {
         let mut ops = gen(w);
@@ -143,10 +145,7 @@ where
             cx.execute(ops());
         })
     });
-    let stats = match (rt, before) {
-        (Some(rt), Some(b)) => rt.stats().snapshot().delta_since(&b),
-        _ => PmemStatsSnapshot::default(),
-    };
+    let stats = phase.map(|p| p.finish()).unwrap_or_default();
     CellResult { m, stats }
 }
 
@@ -163,7 +162,7 @@ pub fn run_soft(
     for k in (0..key_range).step_by(2) {
         soft.insert(k, k ^ 0xABCD);
     }
-    let before = rt.stats().snapshot();
+    let phase = Phase::start(&rt);
     let m = measure(threads, Duration::from_secs_f64(secs), |w| {
         let mut gen = MapOpGen::new(read_pct, key_range, w);
         let soft = &soft;
@@ -185,8 +184,123 @@ pub fn run_soft(
             }
         })
     });
-    let stats = rt.stats().snapshot().delta_since(&before);
+    let stats = phase.finish();
     CellResult { m, stats }
+}
+
+/// One shard's share of a sharded measurement cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardLane {
+    /// Update operations this shard's log completed during the window.
+    pub updates: u64,
+    /// Persistence ops this shard's own runtime performed during the
+    /// window.
+    pub stats: PmemStatsSnapshot,
+}
+
+impl ShardLane {
+    /// Flush instructions per completed update on this shard.
+    pub fn flushes_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.stats.total_flushes() as f64 / self.updates as f64
+        }
+    }
+
+    /// Fences per completed update on this shard.
+    pub fn fences_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.stats.sfence as f64 / self.updates as f64
+        }
+    }
+}
+
+/// A sharded measurement: whole-store throughput plus one accounting lane
+/// per shard.
+#[derive(Debug, Clone)]
+pub struct ShardCell {
+    /// Throughput measurement (all shards together).
+    pub m: Measurement,
+    /// Per-shard update counts and persistence deltas.
+    pub shards: Vec<ShardLane>,
+}
+
+impl ShardCell {
+    /// Updates completed across all shards.
+    pub fn total_updates(&self) -> u64 {
+        self.shards.iter().map(|l| l.updates).sum()
+    }
+
+    /// Store-wide flushes per update.
+    pub fn flushes_per_update(&self) -> f64 {
+        let updates = self.total_updates();
+        if updates == 0 {
+            0.0
+        } else {
+            let flushes: u64 = self.shards.iter().map(|l| l.stats.total_flushes()).sum();
+            flushes as f64 / updates as f64
+        }
+    }
+
+    /// Store-wide fences per update.
+    pub fn fences_per_update(&self) -> f64 {
+        let updates = self.total_updates();
+        if updates == 0 {
+            0.0
+        } else {
+            let fences: u64 = self.shards.iter().map(|l| l.stats.sfence).sum();
+            fences as f64 / updates as f64
+        }
+    }
+}
+
+/// Runs one cell against a sharded PREP-UC store
+/// (`prep_shard::ShardedStore`) in per-shard-runtime mode, so each shard's
+/// flush/fence traffic is attributed to its own counters (one
+/// [`Phase`] per shard).
+#[allow(clippy::too_many_arguments)] // one knob per sweep dimension, like the other adapters
+pub fn run_sharded<T, G>(
+    obj: T,
+    shards: usize,
+    cfg: PrepConfig,
+    topo: Topology,
+    threads: usize,
+    secs: f64,
+    gen: G,
+    key_fn: impl Fn(&T::Op) -> u64 + Send + Sync + 'static,
+) -> ShardCell
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let asg = topo.assign_workers(threads);
+    let store = ShardedStore::with_per_shard_runtimes(obj, shards, asg, cfg, key_fn);
+    let phases: Vec<Phase> = (0..shards)
+        .map(|s| Phase::start(store.shard(s).runtime()))
+        .collect();
+    let tails_before = store.completed_tails();
+    let store_ref = &store;
+    let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
+        let token = store_ref.register(w);
+        let mut ops = gen(w);
+        Box::new(move || {
+            store_ref.execute(&token, ops());
+        })
+    });
+    let lanes = store
+        .completed_tails()
+        .into_iter()
+        .zip(tails_before)
+        .zip(&phases)
+        .map(|((after, before), phase)| ShardLane {
+            updates: after - before,
+            stats: phase.finish(),
+        })
+        .collect();
+    ShardCell { m, shards: lanes }
 }
 
 #[cfg(test)]
@@ -200,7 +314,10 @@ mod tests {
         Topology::new(2, 4, 1)
     }
 
-    fn map_gen(read_pct: u32, keys: u64) -> impl Fn(usize) -> OpStream<prep_seqds::hashmap::MapOp> + Sync {
+    fn map_gen(
+        read_pct: u32,
+        keys: u64,
+    ) -> impl Fn(usize) -> OpStream<prep_seqds::hashmap::MapOp> + Sync {
         move |w| {
             let mut g = MapOpGen::new(read_pct, keys, w);
             Box::new(move || g.next_op())
@@ -257,6 +374,37 @@ mod tests {
             cell.flushes_per_op() > 1.0,
             "CX-PUC flushes whole replicas: {:?}",
             cell.stats
+        );
+    }
+
+    #[test]
+    fn sharded_cell_attributes_work_to_lanes() {
+        let cfg = prep_uc::PrepConfig::new(DurabilityLevel::Durable)
+            .with_log_size(4096)
+            .with_epsilon(256)
+            .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::off()));
+        let cell = run_sharded(
+            prefilled_hashmap(1024),
+            2,
+            cfg,
+            quick_topo(),
+            2,
+            0.05,
+            map_gen(50, 1024),
+            |op| op.key().unwrap_or(0),
+        );
+        assert!(cell.m.total_ops > 0);
+        assert_eq!(cell.shards.len(), 2);
+        assert!(cell.total_updates() > 0);
+        assert!(
+            cell.shards.iter().all(|l| l.updates > 0),
+            "uniform keys must load both shards: {:?}",
+            cell.shards
+        );
+        assert!(cell.flushes_per_update() > 0.0, "durable must flush");
+        assert!(
+            cell.shards.iter().all(|l| l.stats.total_flushes() > 0),
+            "each shard's own runtime must see its flushes"
         );
     }
 

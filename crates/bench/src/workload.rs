@@ -44,7 +44,10 @@ impl MapOpGen {
         if roll < self.read_pct {
             MapOp::Get { key }
         } else if roll % 2 == 0 {
-            MapOp::Insert { key, value: key ^ 0xABCD }
+            MapOp::Insert {
+                key,
+                value: key ^ 0xABCD,
+            }
         } else {
             MapOp::Remove { key }
         }
@@ -74,7 +77,10 @@ impl ZipfianGen {
     /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64, worker: usize) -> Self {
         assert!(n > 0, "need a nonempty key range");
-        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0,1)");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         ZipfianGen {

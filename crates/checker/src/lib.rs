@@ -107,7 +107,10 @@ where
     T: SequentialObject,
     T::Resp: PartialEq,
 {
-    assert!(history.len() <= 63, "history too large for the bitmask search");
+    assert!(
+        history.len() <= 63,
+        "history too large for the bitmask search"
+    );
     let all: u64 = if history.is_empty() {
         return true;
     } else {
@@ -130,9 +133,10 @@ where
         }
         // e may be linearized next iff no *unchosen* f completed before e
         // was invoked (real-time order).
-        let minimal = history.iter().enumerate().all(|(j, f)| {
-            j == i || chosen & (1 << j) != 0 || f.response > e.invoke
-        });
+        let minimal = history
+            .iter()
+            .enumerate()
+            .all(|(j, f)| j == i || chosen & (1 << j) != 0 || f.response > e.invoke);
         if !minimal {
             continue;
         }
@@ -143,6 +147,103 @@ where
         }
     }
     false
+}
+
+/// Records per-shard concurrent histories stamped by **one** shared
+/// logical clock.
+///
+/// A sharded store (e.g. `prep-shard`) linearizes each shard
+/// independently — there is no cross-shard ordering to check — but the
+/// histories must still be *recorded* against a single clock: if every
+/// shard ran its own clock, an operation's timestamps would be
+/// meaningless relative to another shard's, and any later cross-shard
+/// analysis (or merging windows for debugging) would be impossible. This
+/// recorder therefore shares one `AtomicU64` across all shards and keeps
+/// one event list per shard; [`into_histories`](Self::into_histories)
+/// yields them separately so each can go through
+/// [`check_linearizable`] against its own shard's sequential model.
+#[derive(Debug)]
+pub struct ShardedHistoryRecorder<O, R> {
+    clock: AtomicU64,
+    shards: Vec<Mutex<Vec<Event<O, R>>>>,
+}
+
+impl<O, R> ShardedHistoryRecorder<O, R> {
+    /// Creates a recorder for `shards` independent histories.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a sharded recorder needs at least one shard");
+        ShardedHistoryRecorder {
+            clock: AtomicU64::new(0),
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of shards recorded.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Stamps an invocation on the shared clock; call immediately before
+    /// executing the op (on whichever shard it routes to).
+    pub fn invoke(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Records a completed operation on `shard`'s history; call
+    /// immediately after the response arrives, passing the invocation
+    /// stamp from [`invoke`](Self::invoke).
+    pub fn complete(&self, shard: usize, thread: usize, op: O, resp: R, invoke: u64) {
+        let response = self.clock.fetch_add(1, Ordering::AcqRel);
+        self.shards[shard]
+            .lock()
+            .expect("recorder poisoned")
+            .push(Event {
+                thread,
+                op,
+                resp,
+                invoke,
+                response,
+            });
+    }
+
+    /// Consumes the recorder, returning one history per shard, each sorted
+    /// by invocation stamp (stamps are globally unique across shards).
+    pub fn into_histories(self) -> Vec<Vec<Event<O, R>>> {
+        self.shards
+            .into_iter()
+            .map(|m| {
+                let mut ev = m.into_inner().expect("recorder poisoned");
+                ev.sort_by_key(|e| e.invoke);
+                ev
+            })
+            .collect()
+    }
+}
+
+/// Checks every shard's history independently against its own copy of the
+/// sequential model: the correctness condition of a sharded store (each
+/// shard linearizable; no cross-shard order promised). Returns the index
+/// of the first non-linearizable shard, or `Ok(())`.
+///
+/// # Panics
+/// Panics if any shard's history exceeds the 63-event search limit.
+pub fn check_sharded_linearizable<T>(
+    initial: &T,
+    histories: &[Vec<Event<T::Op, T::Resp>>],
+) -> Result<(), usize>
+where
+    T: SequentialObject,
+    T::Resp: PartialEq,
+{
+    for (shard, history) in histories.iter().enumerate() {
+        if !check_linearizable(initial, history) {
+            return Err(shard);
+        }
+    }
+    Ok(())
 }
 
 /// A convenience wrapper: runs `threads` closures that execute operations
@@ -293,6 +394,54 @@ mod tests {
         // Corrupt the last response: must be rejected.
         model.last_mut().unwrap().resp = StackResp::Value(Some(4242));
         assert!(!check_linearizable(&Stack::new(), &model));
+    }
+
+    #[test]
+    fn sharded_recorder_shares_one_clock() {
+        let rec: ShardedHistoryRecorder<StackOp, StackResp> = ShardedHistoryRecorder::new(2);
+        // Interleave ops across shards; stamps must be globally unique and
+        // monotone in issue order.
+        let t0 = rec.invoke();
+        rec.complete(0, 0, StackOp::Push(1), StackResp::Ok, t0);
+        let t1 = rec.invoke();
+        rec.complete(1, 0, StackOp::Push(2), StackResp::Ok, t1);
+        let t2 = rec.invoke();
+        rec.complete(0, 0, StackOp::Pop, StackResp::Value(Some(1)), t2);
+        let hs = rec.into_histories();
+        assert_eq!(hs[0].len(), 2);
+        assert_eq!(hs[1].len(), 1);
+        // Shard 1's events are stamped between shard 0's: one clock.
+        assert!(hs[0][0].response < hs[1][0].invoke);
+        assert!(hs[1][0].response < hs[0][1].invoke);
+        let mut all: Vec<u64> = hs
+            .iter()
+            .flatten()
+            .flat_map(|e| [e.invoke, e.response])
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 6, "stamps must be globally unique");
+        assert_eq!(check_sharded_linearizable(&Stack::new(), &hs), Ok(()));
+    }
+
+    #[test]
+    fn sharded_check_pinpoints_the_bad_shard() {
+        let rec: ShardedHistoryRecorder<StackOp, StackResp> = ShardedHistoryRecorder::new(3);
+        let t = rec.invoke();
+        rec.complete(0, 0, StackOp::Push(1), StackResp::Ok, t);
+        // Shard 1 claims a pop of a value never pushed there (it was pushed
+        // on shard 0) — per-shard checking must reject shard 1 even though
+        // a merged history could explain it.
+        let t = rec.invoke();
+        rec.complete(1, 0, StackOp::Pop, StackResp::Value(Some(1)), t);
+        let hs = rec.into_histories();
+        assert_eq!(check_sharded_linearizable(&Stack::new(), &hs), Err(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_recorder_rejected() {
+        let _ = ShardedHistoryRecorder::<StackOp, StackResp>::new(0);
     }
 
     #[test]

@@ -126,7 +126,9 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         }
         self.state.rt.sfence();
         for (k, idx) in range.enumerate() {
-            self.state.log_image.persist_entry(&self.state.rt, idx, ops[k].clone());
+            self.state
+                .log_image
+                .persist_entry(&self.state.rt, idx, ops[k].clone());
         }
     }
 
@@ -169,14 +171,9 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         // persistence thread can always reach; persisting earlier than ε
         // only tightens the loss bound.
         let active = self.state.p_active.load(Ordering::Acquire) as usize;
-        if active != idx
-            && self.state.flush_boundary.load(Ordering::Acquire) >= low_mark
-        {
+        if active != idx && self.state.flush_boundary.load(Ordering::Acquire) >= low_mark {
             let active_tail = self.state.p_tails[active].load(Ordering::Acquire);
-            let target = low_mark
-                .saturating_sub(1)
-                .min(active_tail)
-                .max(1);
+            let target = low_mark.saturating_sub(1).min(active_tail).max(1);
             self.state.flush_boundary.store(target, Ordering::Release);
         }
     }
@@ -195,7 +192,12 @@ mod tests {
     #[test]
     fn fence_per_entry_ablation_fences_each_entry() {
         let h = PrepHooks::<u64> {
-            state: HookState::new(PmemRuntime::for_crash_tests(), DurabilityLevel::Durable, 16, true),
+            state: HookState::new(
+                PmemRuntime::for_crash_tests(),
+                DurabilityLevel::Durable,
+                16,
+                true,
+            ),
         };
         h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
         assert_eq!(h.state.rt.stats().snapshot().sfence, 4);

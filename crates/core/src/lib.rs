@@ -72,5 +72,5 @@ pub use hooks::PrepHooks;
 pub use puc::{PrepUc, PrepVolatile};
 pub use recovery::CrashImage;
 
-pub use prep_pmem::{LatencyModel, PmemRuntime};
 pub use prep_nr::{FairnessMode, ThreadToken};
+pub use prep_pmem::{LatencyModel, PmemRuntime};

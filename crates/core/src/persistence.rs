@@ -97,9 +97,8 @@ impl<T: SequentialObject> PersistenceTask<T> {
             // (persistedTail + ε) would actually rise — otherwise a cycle
             // with an in-flight operation would re-persist the same state
             // every loop iteration.
-            let backstop = gate_closed
-                && rep.local_tail == tail
-                && rep.local_tail + self.epsilon > boundary;
+            let backstop =
+                gate_closed && rep.local_tail == tail && rep.local_tail + self.epsilon > boundary;
             if boundary <= rep.local_tail || backstop {
                 // Write the active replica back to NVM, making it durable
                 // and consistent: WBINVD (paper default) or a per-line
@@ -126,9 +125,7 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // replica against a window sized for the new one).
                 let new_active = 1 - active as u64;
                 self.state.p_active.store(new_active, Ordering::Release);
-                self.state
-                    .p_active_cell
-                    .persist_clflush(&rt, new_active);
+                self.state.p_active_cell.persist_clflush(&rt, new_active);
                 // Advance the boundary to exactly ε past what was just
                 // persisted. This is the invariant the ε + β − 1 loss bound
                 // rests on: `flushBoundary ≤ stableTail + ε` at all times,
@@ -145,9 +142,7 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // Entries below both persistent tails can never be needed by
                 // recovery again; let the durable log image reclaim them.
                 if self.state.durability == DurabilityLevel::Durable {
-                    let min_tail = self.replicas[0]
-                        .local_tail
-                        .min(self.replicas[1].local_tail);
+                    let min_tail = self.replicas[0].local_tail.min(self.replicas[1].local_tail);
                     self.state.log_image.retain_from(&rt, min_tail);
                 }
                 progressed = true;
@@ -191,7 +186,11 @@ mod tests {
     #[test]
     fn persistence_thread_tracks_completed_tail() {
         let asg = Topology::small().assign_workers(1);
-        let prep = PrepUc::new(Recorder::new(), asg, crash_cfg(DurabilityLevel::Buffered, 8));
+        let prep = PrepUc::new(
+            Recorder::new(),
+            asg,
+            crash_cfg(DurabilityLevel::Buffered, 8),
+        );
         let t = prep.register(0);
         for i in 0..20u64 {
             prep.execute(&t, RecorderOp::Record(i));
@@ -199,14 +198,21 @@ mod tests {
         // The active replica must eventually reach completedTail = 20.
         prep_sync::spin_until(|| {
             let s = prep.hook_state();
-            s.p_tails[0].load(Ordering::Acquire).max(s.p_tails[1].load(Ordering::Acquire)) >= 20
+            s.p_tails[0]
+                .load(Ordering::Acquire)
+                .max(s.p_tails[1].load(Ordering::Acquire))
+                >= 20
         });
     }
 
     #[test]
     fn flush_boundary_advances_and_roles_swap() {
         let asg = Topology::small().assign_workers(1);
-        let prep = PrepUc::new(Recorder::new(), asg, crash_cfg(DurabilityLevel::Buffered, 4));
+        let prep = PrepUc::new(
+            Recorder::new(),
+            asg,
+            crash_cfg(DurabilityLevel::Buffered, 4),
+        );
         let t = prep.register(0);
         for i in 0..40u64 {
             prep.execute(&t, RecorderOp::Record(i));
@@ -220,7 +226,10 @@ mod tests {
         assert!(active_img <= 1);
         // The stable replica image is a consistent (non-torn) prefix.
         let stable = (1 - prep.hook_state().p_active.load(Ordering::Acquire)) as usize;
-        let snap = prep.replica_image(stable).read_image().expect("stable image torn");
+        let snap = prep
+            .replica_image(stable)
+            .read_image()
+            .expect("stable image torn");
         assert!(snap.local_tail >= 4);
     }
 }

@@ -17,8 +17,7 @@ use crate::persistence::{spawn_persistence_thread, PReplica, PersistenceTask};
 pub type PrepVolatile<T> = NodeReplicated<T>;
 
 /// The inner node-replicated construction with PREP's hooks installed.
-pub(crate) type NrInner<T> =
-    NodeReplicated<T, PrepHooks<<T as SequentialObject>::Op>>;
+pub(crate) type NrInner<T> = NodeReplicated<T, PrepHooks<<T as SequentialObject>::Op>>;
 
 /// A replicated persistent universal construction (PREP-Buffered or
 /// PREP-Durable, per [`PrepConfig::durability`]).
@@ -211,7 +210,13 @@ mod tests {
         let prep = PrepUc::new(HashMap::new(), asg, cfg(DurabilityLevel::Buffered));
         let t = prep.register(0);
         for k in 0..50u64 {
-            prep.execute(&t, MapOp::Insert { key: k, value: k * 3 });
+            prep.execute(
+                &t,
+                MapOp::Insert {
+                    key: k,
+                    value: k * 3,
+                },
+            );
         }
         for k in 0..50u64 {
             assert_eq!(

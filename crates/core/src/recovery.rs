@@ -67,19 +67,32 @@ impl<T: SequentialObject> PrepUc<T> {
         &self,
         extra: impl FnOnce() -> R,
     ) -> (CrashToken, (CrashImage<T>, R)) {
+        self.runtime()
+            .capture_cut(|| (self.crash_image_in_cut(), extra()))
+    }
+
+    /// Reads this instance's crash image **inside an already-frozen
+    /// consistent cut** — the entry point recovery orchestrators use to
+    /// capture several constructions sharing one [`prep_pmem::PmemRuntime`]
+    /// in a *single* power failure (e.g. `prep-shard`'s cross-shard crash):
+    /// the orchestrator calls [`prep_pmem::PmemRuntime::capture_cut`] once
+    /// and invokes this on every instance from within the capture closure.
+    ///
+    /// Callers that want a single-instance crash should use
+    /// [`PrepUc::simulate_crash`] instead, which takes the cut itself.
+    /// Calling this *outside* a frozen cut yields an image that is not a
+    /// consistent cut of the persist order.
+    pub fn crash_image_in_cut(&self) -> CrashImage<T> {
         let state = self.hook_state();
-        self.runtime().capture_cut(|| {
-            let image = CrashImage {
-                active: state.p_active_cell.read_image(),
-                replicas: [
-                    self.replica_image(0).read_image(),
-                    self.replica_image(1).read_image(),
-                ],
-                completed_tail: state.ct_cell.read_image(),
-                log_entries: state.log_image.persisted_range(0, u64::MAX),
-            };
-            (image, extra())
-        })
+        CrashImage {
+            active: state.p_active_cell.read_image(),
+            replicas: [
+                self.replica_image(0).read_image(),
+                self.replica_image(1).read_image(),
+            ],
+            completed_tail: state.ct_cell.read_image(),
+            log_entries: state.log_image.persisted_range(0, u64::MAX),
+        }
     }
 
     /// The recovery procedure (§5.1 buffered, §5.2 durable): rebuilds a
@@ -129,11 +142,7 @@ mod tests {
 
     /// Runs `n` updates single-threaded, crashes, recovers, and returns
     /// (completed-before-crash history, recovered history).
-    fn run_crash_recover(
-        level: DurabilityLevel,
-        eps: u64,
-        n: u64,
-    ) -> (Vec<u64>, Vec<u64>) {
+    fn run_crash_recover(level: DurabilityLevel, eps: u64, n: u64) -> (Vec<u64>, Vec<u64>) {
         let asg = Topology::small().assign_workers(1);
         let prep = PrepUc::new(Recorder::new(), asg.clone(), cfg(level, eps));
         let t = prep.register(0);
@@ -215,7 +224,12 @@ mod tests {
             }
             let (token, image) = prep.simulate_crash();
             drop(prep);
-            prep = PrepUc::recover(token, image, asg.clone(), cfg(DurabilityLevel::Buffered, eps));
+            prep = PrepUc::recover(
+                token,
+                image,
+                asg.clone(),
+                cfg(DurabilityLevel::Buffered, eps),
+            );
             // The recovered history must be missing only a suffix of each
             // inter-crash epoch; globally, ids are recorded in order with
             // gaps only at crash points. Verify it is a subsequence of

@@ -95,7 +95,10 @@ impl<O: Clone, R> OpQueue<O, R> {
 
     fn seg(&self, pos: u64) -> &Segment<O, R> {
         let si = (pos >> SEG_SHIFT) as usize;
-        assert!(si < MAX_SEGS, "CX operation queue exhausted ({MAX_SEGS} segments)");
+        assert!(
+            si < MAX_SEGS,
+            "CX operation queue exhausted ({MAX_SEGS} segments)"
+        );
         let p = self.segs[si].load(Ordering::Acquire);
         if !p.is_null() {
             // SAFETY: once installed, a segment is never freed until drop.
@@ -143,7 +146,12 @@ impl<O: Clone, R> OpQueue<O, R> {
             w.wait();
         }
         // SAFETY: ready (acquire) synchronizes with the enqueuer's write.
-        unsafe { (*slot.op.get()).as_ref().expect("ready slot without op").clone() }
+        unsafe {
+            (*slot.op.get())
+                .as_ref()
+                .expect("ready slot without op")
+                .clone()
+        }
     }
 
     /// Attempts to claim the right to publish `pos`'s response. The single
@@ -151,7 +159,12 @@ impl<O: Clone, R> OpQueue<O, R> {
     pub fn try_claim_resp(&self, pos: u64) -> bool {
         self.slot(pos)
             .resp_state
-            .compare_exchange(RESP_EMPTY, RESP_CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                RESP_EMPTY,
+                RESP_CLAIMED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -257,8 +270,10 @@ mod tests {
                 })
             })
             .collect();
-        let mut all: Vec<(u64, u64)> =
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<(u64, u64)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         for (i, (pos, val)) in all.iter().enumerate() {
             assert_eq!(*pos, i as u64, "positions must be dense");

@@ -302,10 +302,7 @@ mod tests {
     #[test]
     fn persistent_mode_charges_whole_replica_flushes() {
         let rt = PmemRuntime::for_benchmarks(LatencyModel::off());
-        let cx = CxUc::new(
-            HashMap::new(),
-            CxConfig::persistent(1, Arc::clone(&rt)),
-        );
+        let cx = CxUc::new(HashMap::new(), CxConfig::persistent(1, Arc::clone(&rt)));
         for k in 0..50u64 {
             cx.execute(MapOp::Insert { key: k, value: k });
         }
@@ -317,10 +314,7 @@ mod tests {
 
     #[test]
     fn replica_count_override() {
-        let cx = CxUc::new(
-            Recorder::new(),
-            CxConfig::volatile(8).with_replicas(3),
-        );
+        let cx = CxUc::new(Recorder::new(), CxConfig::volatile(8).with_replicas(3));
         assert_eq!(cx.num_replicas(), 3);
         cx.execute(RecorderOp::Record(1));
         cx.with_latest(|r| assert_eq!(r.count(), 1));

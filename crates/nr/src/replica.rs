@@ -72,9 +72,7 @@ impl<T> ReplicaRwLock<T> {
     fn new(ds: T, fairness: FairnessMode) -> Self {
         match fairness {
             FairnessMode::Throughput => ReplicaRwLock::WriterPref(RwSpinLock::new(ds)),
-            FairnessMode::StarvationFree => {
-                ReplicaRwLock::PhaseFair(PhaseFairRwLock::new(ds))
-            }
+            FairnessMode::StarvationFree => ReplicaRwLock::PhaseFair(PhaseFairRwLock::new(ds)),
         }
     }
 

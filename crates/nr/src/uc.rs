@@ -258,7 +258,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
 
         // 6. Release responses.
         for &slot_i in &slot_ids {
-            replica.slots[slot_i].state.store(SLOT_DONE, Ordering::Release);
+            replica.slots[slot_i]
+                .state
+                .store(SLOT_DONE, Ordering::Release);
         }
     }
 
@@ -281,7 +283,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             if !self.hooks.reserve_admitted(tail) {
                 if self.replicas[node].update_now.load(Ordering::Acquire) {
                     self.update_replica_to(node, self.log.completed_tail());
-                    self.replicas[node].update_now.store(false, Ordering::Release);
+                    self.replicas[node]
+                        .update_now
+                        .store(false, Ordering::Release);
                 }
                 w.wait();
                 continue;
@@ -316,7 +320,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             while self.log.log_min().saturating_sub(beta) < new_tail {
                 if self.replicas[node].update_now.load(Ordering::Acquire) {
                     self.update_replica_to(node, self.log.completed_tail());
-                    self.replicas[node].update_now.store(false, Ordering::Release);
+                    self.replicas[node]
+                        .update_now
+                        .store(false, Ordering::Release);
                 }
                 w.wait();
             }
@@ -376,8 +382,7 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
                     straggler.update_now.store(true, Ordering::Release);
                     let baseline = lowest;
                     let mut w = Waiter::new();
-                    while straggler.local_tail() == baseline
-                        && self.log.completed_tail() > baseline
+                    while straggler.local_tail() == baseline && self.log.completed_tail() > baseline
                     {
                         if w.is_contended() {
                             if let Some(_guard) = straggler.combiner.try_lock() {
@@ -498,7 +503,10 @@ mod tests {
         let topo = Topology::new(2, 4, 1);
         let asg = topo.assign_workers(workers);
         let nodes = asg.populated_nodes();
-        (Arc::new(NodeReplicated::new(Recorder::new(), asg, log)), nodes)
+        (
+            Arc::new(NodeReplicated::new(Recorder::new(), asg, log)),
+            nodes,
+        )
     }
 
     #[test]

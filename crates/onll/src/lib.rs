@@ -141,13 +141,8 @@ impl<T: SequentialObject> OnllUc<T> {
     /// update only completes after its own entry — and, by induction on the
     /// lock order, every predecessor's entry — is persistent. Returns the
     /// recovered object and the number of operations replayed.
-    pub fn recover(
-        _crash: CrashToken,
-        image: &OnllCrashImage<T>,
-        mut initial: T,
-    ) -> (T, u64) {
-        let mut merged: std::collections::BTreeMap<u64, &T::Op> =
-            std::collections::BTreeMap::new();
+    pub fn recover(_crash: CrashToken, image: &OnllCrashImage<T>, mut initial: T) -> (T, u64) {
+        let mut merged: std::collections::BTreeMap<u64, &T::Op> = std::collections::BTreeMap::new();
         for log in &image.logs {
             for (idx, op) in log {
                 merged.insert(*idx, op);
@@ -195,7 +190,10 @@ mod tests {
             uc.execute(0, MapOp::Insert { key: 1, value: 10 }),
             MapResp::Value(None)
         );
-        assert_eq!(uc.execute(1, MapOp::Get { key: 1 }), MapResp::Value(Some(10)));
+        assert_eq!(
+            uc.execute(1, MapOp::Get { key: 1 }),
+            MapResp::Value(Some(10))
+        );
         assert_eq!(uc.history_len(), 1);
     }
 
@@ -265,7 +263,13 @@ mod tests {
         // live size accumulates unbounded replay work under ONLL.
         let uc = OnllUc::new(HashMap::new(), 1, rt());
         for round in 0..50u64 {
-            uc.execute(0, MapOp::Insert { key: 7, value: round });
+            uc.execute(
+                0,
+                MapOp::Insert {
+                    key: 7,
+                    value: round,
+                },
+            );
             uc.execute(0, MapOp::Remove { key: 7 });
         }
         let (_token, image) = uc.simulate_crash();

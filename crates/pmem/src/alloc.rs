@@ -159,8 +159,8 @@ unsafe impl GlobalAlloc for SwappableAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let new_layout = Layout::from_size_align(new_size, layout.align())
-            .expect("invalid realloc layout");
+        let new_layout =
+            Layout::from_size_align(new_size, layout.align()).expect("invalid realloc layout");
         // SAFETY: alloc with a valid layout.
         let new_ptr = unsafe { self.alloc(new_layout) };
         if !new_ptr.is_null() {

@@ -111,7 +111,10 @@ impl<O: Clone> LogImage<O> {
             return;
         };
         rt.stats().count_bytes(std::mem::size_of::<O>() as u64);
-        self.entries.lock().expect("log image poisoned").insert(index, op);
+        self.entries
+            .lock()
+            .expect("log image poisoned")
+            .insert(index, op);
     }
 
     /// Drops persisted entries below `min_index` (their slots are being
@@ -261,7 +264,11 @@ mod tests {
         let bench = PmemRuntime::for_benchmarks(crate::LatencyModel::off());
         let cell = PersistentCell::new(0u64);
         cell.persist_clflush(&bench, 7);
-        assert_eq!(cell.read_image(), 0, "bench runtime must not touch the image");
+        assert_eq!(
+            cell.read_image(),
+            0,
+            "bench runtime must not touch the image"
+        );
         cell.persist_clflush(&sim, 7);
         assert_eq!(cell.read_image(), 7);
         assert_eq!(sim.stats().snapshot().clflush, 1);

@@ -35,10 +35,12 @@ pub mod alloc;
 pub mod arena;
 mod image;
 mod latency;
+mod namespace;
 mod runtime;
 mod stats;
 
 pub use image::{LogImage, PersistentCell, ReplicaImage, ReplicaSnapshot, TornImage};
 pub use latency::LatencyModel;
+pub use namespace::PersistentDirectory;
 pub use runtime::{CrashToken, PmemRuntime};
 pub use stats::{PmemStats, PmemStatsSnapshot};

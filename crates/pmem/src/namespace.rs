@@ -1,0 +1,133 @@
+//! Namespaced persistent roots: a directory of named NVM variables that
+//! share one crash image.
+//!
+//! Real PMEM deployments keep a *root object* per pool from which recovery
+//! finds everything else. A multi-instance system (e.g. `prep-shard`'s N
+//! independent PREP-UC shards) needs several such roots inside **one**
+//! crash image so that a single power failure captures them together with
+//! every instance's replicas. [`PersistentDirectory`] models that: a flat
+//! `name → u64` namespace whose mutations take the shared runtime's
+//! persist-effect guard, making the directory part of the same consistent
+//! cut as every other image owned by the runtime. Hierarchical names use
+//! `/`-separated paths by convention (`"shard/3/epoch"`), and
+//! [`PersistentDirectory::scope`] prefixes a namespace.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::runtime::PmemRuntime;
+
+/// A persisted `name → u64` namespace sharing the runtime's crash image.
+#[derive(Debug, Default)]
+pub struct PersistentDirectory {
+    image: Mutex<BTreeMap<String, u64>>,
+}
+
+impl PersistentDirectory {
+    /// Creates an empty directory (a freshly formatted pool has no roots).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the conventional `/`-separated name for `root` under
+    /// `namespace` (e.g. `scope("shard/3", "epoch")` → `"shard/3/epoch"`).
+    pub fn scope(namespace: &str, root: &str) -> String {
+        format!("{namespace}/{root}")
+    }
+
+    /// Records `value` under `name` as persistent. Like the other image
+    /// mutators, this is a no-op without crash simulation; the caller
+    /// charges flush costs separately.
+    pub fn record(&self, rt: &PmemRuntime, name: &str, value: u64) {
+        let Some(_guard) = rt.persist_effect() else {
+            return;
+        };
+        rt.stats()
+            .count_bytes((name.len() + std::mem::size_of::<u64>()) as u64);
+        self.image
+            .lock()
+            .expect("directory poisoned")
+            .insert(name.to_owned(), value);
+    }
+
+    /// Convenience: `CLFLUSH` + record — the pattern for rarely-written
+    /// metadata roots (shard counts, epochs, format versions).
+    pub fn persist_clflush(&self, rt: &PmemRuntime, name: &str, value: u64) {
+        rt.clflush();
+        self.record(rt, name, value);
+    }
+
+    /// Reads one root from the persisted image (what recovery would see).
+    pub fn read(&self, name: &str) -> Option<u64> {
+        self.image
+            .lock()
+            .expect("directory poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Copies the whole persisted namespace — call inside a frozen cut
+    /// (e.g. from a [`PmemRuntime::capture_cut`] closure) to embed the
+    /// directory in a crash image.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.image.lock().expect("directory poisoned").clone()
+    }
+
+    /// Number of persisted roots.
+    pub fn len(&self) -> usize {
+        self.image.lock().expect("directory poisoned").len()
+    }
+
+    /// True if no root is persisted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+
+    #[test]
+    fn records_only_with_crash_sim() {
+        let bench = PmemRuntime::for_benchmarks(LatencyModel::off());
+        let sim = PmemRuntime::for_crash_tests();
+        let dir = PersistentDirectory::new();
+        dir.persist_clflush(&bench, "shards", 4);
+        assert_eq!(dir.read("shards"), None, "bench runtime must not persist");
+        dir.persist_clflush(&sim, "shards", 4);
+        assert_eq!(dir.read("shards"), Some(4));
+        assert_eq!(sim.stats().snapshot().clflush, 1);
+    }
+
+    #[test]
+    fn scoped_names_nest_and_snapshot() {
+        let rt = PmemRuntime::for_crash_tests();
+        let dir = PersistentDirectory::new();
+        for shard in 0..3u64 {
+            let ns = format!("shard/{shard}");
+            dir.record(&rt, &PersistentDirectory::scope(&ns, "epoch"), shard * 10);
+        }
+        dir.record(&rt, "shards", 3);
+        assert_eq!(dir.len(), 4);
+        assert_eq!(dir.read("shard/1/epoch"), Some(10));
+        let snap = dir.snapshot();
+        assert_eq!(snap.get("shards"), Some(&3));
+        assert_eq!(snap.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_inside_cut_is_coherent_with_other_images() {
+        // A directory write and a cell write made before the cut are both
+        // visible; the capture closure sees one consistent namespace.
+        let rt = PmemRuntime::for_crash_tests();
+        let dir = PersistentDirectory::new();
+        let cell = crate::PersistentCell::new(0u64);
+        dir.persist_clflush(&rt, "shards", 2);
+        cell.persist_clflush(&rt, 7);
+        let (_tok, (snap, v)) = rt.capture_cut(|| (dir.snapshot(), cell.read_image()));
+        assert_eq!(snap.get("shards"), Some(&2));
+        assert_eq!(v, 7);
+    }
+}

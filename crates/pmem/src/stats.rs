@@ -97,8 +97,11 @@ impl PmemStats {
 }
 
 impl PmemStatsSnapshot {
-    /// Per-field difference `self - earlier` (saturating).
-    pub fn delta_since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
+    /// Per-field difference `self - earlier` (saturating): the persistence
+    /// work done between two snapshots. This is the building block for all
+    /// per-phase and per-shard accounting (see `prep-bench`'s
+    /// `report::Phase`).
+    pub fn delta(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
         PmemStatsSnapshot {
             clflush: self.clflush.saturating_sub(earlier.clflush),
             clflushopt: self.clflushopt.saturating_sub(earlier.clflushopt),
@@ -107,6 +110,11 @@ impl PmemStatsSnapshot {
             bytes_persisted: self.bytes_persisted.saturating_sub(earlier.bytes_persisted),
             snapshots: self.snapshots.saturating_sub(earlier.snapshots),
         }
+    }
+
+    /// Alias for [`PmemStatsSnapshot::delta`] (the historical name).
+    pub fn delta_since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
+        self.delta(earlier)
     }
 
     /// Total explicit flush instructions (sync + async).

@@ -37,6 +37,21 @@ pub enum MapOp {
     Len,
 }
 
+impl MapOp {
+    /// The key this operation addresses, if any (`Len` is keyless). This
+    /// is the natural routing key for partitioned deployments
+    /// (`prep-shard`): keyed ops go to one shard, `Len` must be broadcast.
+    pub fn key(&self) -> Option<u64> {
+        match *self {
+            MapOp::Insert { key, .. }
+            | MapOp::Remove { key }
+            | MapOp::Get { key }
+            | MapOp::Contains { key } => Some(key),
+            MapOp::Len => None,
+        }
+    }
+}
+
 /// Responses for [`MapOp`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MapResp {

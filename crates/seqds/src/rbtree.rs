@@ -374,11 +374,7 @@ impl RbTree {
     /// # Panics
     /// Panics if any invariant is violated.
     pub fn check_invariants(&self) -> usize {
-        assert_eq!(
-            self.n(NIL).color,
-            Color::Black,
-            "sentinel must stay black"
-        );
+        assert_eq!(self.n(NIL).color, Color::Black, "sentinel must stay black");
         if self.root == NIL {
             assert_eq!(self.len, 0);
             return 0;

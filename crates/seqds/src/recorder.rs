@@ -124,8 +124,14 @@ mod tests {
     #[test]
     fn records_in_order_and_reports_indexes() {
         let mut r = Recorder::new();
-        assert_eq!(r.apply(&RecorderOp::Record(10)), RecorderResp::RecordedAt(0));
-        assert_eq!(r.apply(&RecorderOp::Record(20)), RecorderResp::RecordedAt(1));
+        assert_eq!(
+            r.apply(&RecorderOp::Record(10)),
+            RecorderResp::RecordedAt(0)
+        );
+        assert_eq!(
+            r.apply(&RecorderOp::Record(20)),
+            RecorderResp::RecordedAt(1)
+        );
         assert_eq!(r.history(), &[10, 20]);
         assert_eq!(r.apply(&RecorderOp::Count), RecorderResp::Count(2));
         assert_eq!(r.apply(&RecorderOp::Last), RecorderResp::Last(Some(20)));

@@ -162,9 +162,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(
-            unsafe { *shared.value.get() },
-            (THREADS * ITERS) as u64
-        );
+        assert_eq!(unsafe { *shared.value.get() }, (THREADS * ITERS) as u64);
     }
 }

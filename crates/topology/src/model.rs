@@ -29,8 +29,14 @@ impl Topology {
     /// Panics if any dimension is zero.
     pub fn new(nodes: usize, cores_per_node: usize, smt_per_core: usize) -> Self {
         assert!(nodes > 0, "topology needs at least one NUMA node");
-        assert!(cores_per_node > 0, "topology needs at least one core per node");
-        assert!(smt_per_core > 0, "topology needs at least one SMT thread per core");
+        assert!(
+            cores_per_node > 0,
+            "topology needs at least one core per node"
+        );
+        assert!(
+            smt_per_core > 0,
+            "topology needs at least one SMT thread per core"
+        );
         Topology {
             nodes,
             cores_per_node,
@@ -166,7 +172,14 @@ mod tests {
     fn persistence_cpu_is_last_in_fill_order() {
         let t = Topology::paper_machine();
         let p = t.persistence_cpu();
-        assert_eq!(p, CpuId { node: 1, core: 23, smt: 1 });
+        assert_eq!(
+            p,
+            CpuId {
+                node: 1,
+                core: 23,
+                smt: 1
+            }
+        );
     }
 
     #[test]

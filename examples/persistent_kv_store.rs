@@ -1,11 +1,14 @@
-//! A persistent key-value store built from a *sequential* red-black tree —
-//! the workload the paper's introduction motivates: you wrote a simple
-//! single-threaded structure; PREP-UC gives you the concurrent persistent
-//! version for free.
+//! A *sharded* persistent key-value store built from a sequential red-black
+//! tree — the workload the paper's introduction motivates, scaled past one
+//! log with `prep-shard`: you wrote a simple single-threaded structure;
+//! PREP-UC gives you the concurrent persistent version for free, and the
+//! sharded store partitions it over several independent PREP-UC instances
+//! (each with its own operation log and persistence thread), routed by key.
 //!
 //! Simulates a small KV service: several writer threads ingest records,
 //! reader threads serve lookups, and the store survives a mid-run power
-//! failure with durable linearizability (no acknowledged write is lost).
+//! failure — one consistent cut across **all** shards — with durable
+//! linearizability (no acknowledged write is lost on any shard).
 //!
 //! ```text
 //! cargo run -p prep-bench --release --example persistent_kv_store
@@ -15,9 +18,11 @@ use std::sync::Arc;
 
 use prep_seqds::hashmap::{MapOp, MapResp};
 use prep_seqds::rbtree::RbTree;
+use prep_shard::ShardedStore;
 use prep_topology::Topology;
-use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
+use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig};
 
+const SHARDS: usize = 4;
 const WRITERS: usize = 3;
 const READERS: usize = 2;
 const RECORDS_PER_WRITER: u64 = 2_000;
@@ -29,11 +34,37 @@ fn config() -> PrepConfig {
         .with_runtime(PmemRuntime::for_crash_tests())
 }
 
-fn main() {
-    let assignment = Topology::new(2, 4, 1).assign_workers(WRITERS + READERS);
-    let store = Arc::new(PrepUc::new(RbTree::new(), assignment.clone(), config()));
+/// Keyed ops route to the key's shard; `Len` is keyless and is broadcast
+/// via `execute_all` instead.
+fn route(op: &MapOp) -> u64 {
+    op.key().unwrap_or(0)
+}
 
-    // Ingest + serve concurrently.
+/// Total entries across all shards (a broadcast aggregate).
+fn total_len(store: &ShardedStore<RbTree>, token: &prep_shard::ShardToken) -> u64 {
+    store
+        .execute_all(token, MapOp::Len)
+        .into_iter()
+        .map(|r| match r {
+            MapResp::Len(n) => n as u64,
+            other => panic!("unexpected {other:?}"),
+        })
+        .sum()
+}
+
+fn main() {
+    // One extra worker slot for the main thread's aggregate queries.
+    let assignment = Topology::new(2, 4, 1).assign_workers(WRITERS + READERS + 1);
+    let store = Arc::new(ShardedStore::new(
+        RbTree::new(),
+        SHARDS,
+        assignment.clone(),
+        config(),
+        route,
+    ));
+
+    // Ingest + serve concurrently; every operation is routed to the shard
+    // owning its key.
     let mut handles = Vec::new();
     for w in 0..WRITERS {
         let store = Arc::clone(&store);
@@ -65,23 +96,36 @@ fn main() {
         let _ = h.join().unwrap();
     }
 
-    let ingested = store.with_replica(0, |t| t.len());
-    println!("ingested {ingested} records across {WRITERS} writers");
-    assert_eq!(ingested as u64, WRITERS as u64 * RECORDS_PER_WRITER);
+    let token = store.register(WRITERS + READERS);
+    let ingested = total_len(&store, &token);
+    let tails = store.completed_tails();
+    println!(
+        "ingested {ingested} records across {WRITERS} writers, \
+         spread over {SHARDS} shard logs: {tails:?}"
+    );
+    assert_eq!(ingested, WRITERS as u64 * RECORDS_PER_WRITER);
 
-    // Pull the plug and recover on "reboot".
-    let (token, image) = store.simulate_crash();
+    // Pull the plug: ONE consistent cut freezes every shard's NVM image
+    // simultaneously — then recover all shards on "reboot".
+    let (crash_token, image) = store.simulate_crash();
     drop(store);
-    let store = PrepUc::recover(token, image, assignment, config());
-    let recovered = store.with_replica(0, |t| {
-        t.check_invariants(); // the recovered tree is a valid red-black tree
-        t.len()
-    });
-    println!("after crash + recovery: {recovered} records (expected {ingested})");
-    assert_eq!(recovered, ingested, "durable store lost acknowledged writes");
+    let store = ShardedStore::recover(crash_token, image, assignment, config(), route);
+    for s in 0..store.shards() {
+        // Each recovered shard is a valid red-black tree.
+        store.shard(s).with_replica(0, |t| t.check_invariants());
+    }
+    let token = store.register(0);
+    let recovered = total_len(&store, &token);
+    println!(
+        "after crash + recovery (epoch {}): {recovered} records (expected {ingested})",
+        store.epoch()
+    );
+    assert_eq!(
+        recovered, ingested,
+        "durable store lost acknowledged writes"
+    );
 
-    // Keep serving after recovery.
-    let reader = store.register(0);
-    let resp = store.execute(&reader, MapOp::Get { key: 0 });
+    // Keep serving after recovery — keys still route to their home shard.
+    let resp = store.execute(&token, MapOp::Get { key: 0 });
     println!("post-recovery read of key 0 → {resp:?}");
 }

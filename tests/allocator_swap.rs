@@ -8,8 +8,7 @@
 //! worker threads' allocations must stay on the system allocator.
 
 #[global_allocator]
-static ALLOC: prep_pmem::alloc::SwappableAllocator =
-    prep_pmem::alloc::SwappableAllocator::new();
+static ALLOC: prep_pmem::alloc::SwappableAllocator = prep_pmem::alloc::SwappableAllocator::new();
 
 use prep_pmem::alloc::{global_arena, persistent_allocation_enabled, with_persistent};
 use prep_seqds::list::{SetOp, SetResp, SortedList};

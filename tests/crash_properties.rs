@@ -136,7 +136,9 @@ fn read_only_operations_never_flush_or_fence() {
         for i in 0..5u64 {
             prep.execute(&t, RecorderOp::Record(i));
         }
-        prep_sync::spin_until(|| prep.persistent_tails()[prep.active_persistent_replica() as usize] >= 5);
+        prep_sync::spin_until(|| {
+            prep.persistent_tails()[prep.active_persistent_replica() as usize] >= 5
+        });
         let before = prep.stats();
         for _ in 0..1_000 {
             prep.execute(&t, RecorderOp::Count);

@@ -46,7 +46,11 @@ struct CrashOutcome {
 /// returns everything the properties need.
 fn crash_run(level: DurabilityLevel, eps: u64, log: u64, run_ms: u64) -> CrashOutcome {
     let asg = Topology::new(2, 2, 1).assign_workers(WORKERS);
-    let prep = Arc::new(PrepUc::new(Recorder::new(), asg.clone(), cfg(level, eps, log)));
+    let prep = Arc::new(PrepUc::new(
+        Recorder::new(),
+        asg.clone(),
+        cfg(level, eps, log),
+    ));
     let beta = prep.beta();
     let stop = Arc::new(AtomicBool::new(false));
     let completed: Arc<Vec<AtomicU64>> =
@@ -156,7 +160,11 @@ fn recovered_instance_accepts_new_operations_and_stays_consistent() {
     drop(prep);
     let again = PrepUc::recover(token, image, asg, cfg(DurabilityLevel::Durable, 16, 256));
     let hist = again.with_replica(0, |r| r.history().to_vec());
-    assert_eq!(hist.len(), 40, "second-generation durable recovery lost ops");
+    assert_eq!(
+        hist.len(),
+        40,
+        "second-generation durable recovery lost ops"
+    );
     // And the first outcome's recovered data is untouched by any of this.
     assert_prefix(&out.recovered, &out.full_history);
 }

@@ -5,9 +5,9 @@
 
 use std::sync::Arc;
 
+use prep_seqds::hashmap::MapOp;
 use prep_seqds::rbtree::RbTree;
 use prep_seqds::recorder::{Recorder, RecorderOp};
-use prep_seqds::hashmap::MapOp;
 use prep_topology::Topology;
 use prep_uc::{DurabilityLevel, PmemRuntime, PrepConfig, PrepUc};
 

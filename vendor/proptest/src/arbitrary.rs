@@ -1,0 +1,38 @@
+//! `any::<T>()`: whole-domain strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::{Rng, SampleStandard};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one value over the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: SampleStandard + Debug> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: uniform over its whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

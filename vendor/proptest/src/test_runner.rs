@@ -1,0 +1,61 @@
+//! Test-case configuration and the per-case RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The deterministic RNG driving one generated case.
+pub type TestRng = SmallRng;
+
+/// Per-test configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the workspace's
+        // differential-model suites fast while still exploring widely.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the generated inputs; try another case.
+    Reject,
+    /// A `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-case RNG: a pure function of the (fully qualified)
+/// test name and the case's stream index, so every run regenerates the
+/// same inputs and a reported stream index pinpoints a failing case.
+pub fn case_rng(test_name: &str, stream: u64) -> TestRng {
+    // FNV-1a over the test name, mixed with the stream index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
