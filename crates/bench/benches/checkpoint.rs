@@ -1,0 +1,78 @@
+//! Incremental-checkpointing micro-bench: end-to-end update throughput on a
+//! large prefilled hashmap under each replica write-back strategy, with a
+//! small ε so checkpoints dominate the persistence thread's work. The
+//! `DirtyLines` series pays one CLFLUSHOPT per distinct dirty line per
+//! checkpoint instead of writing the whole replica back; the narrow
+//! working-set and Zipfian cases are where that gap is widest.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use prep_bench::workload::{prefilled_hashmap, MapOpGen, ZipfianGen};
+use prep_pmem::{LatencyModel, PmemRuntime};
+use prep_seqds::hashmap::MapOp;
+use prep_topology::Topology;
+use prep_uc::{DurabilityLevel, FlushStrategy, PrepConfig, PrepUc};
+
+const KEYS: u64 = 100_000;
+const BATCH: u64 = 100;
+
+fn prep(strategy: FlushStrategy) -> PrepUc<prep_seqds::hashmap::HashMap> {
+    let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+        .with_log_size(8_192)
+        .with_epsilon(64)
+        .with_flush_strategy(strategy)
+        .with_runtime(PmemRuntime::for_benchmarks(LatencyModel::optane_scaled(8)));
+    let asg = Topology::new(2, 4, 1).assign_workers(1);
+    PrepUc::new(prefilled_hashmap(KEYS), asg, cfg)
+}
+
+fn bench_checkpoint_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checkpoint/flush-strategy");
+    g.throughput(Throughput::Elements(BATCH));
+    g.sample_size(15);
+
+    for (strategy, sname) in [
+        (FlushStrategy::Wbinvd, "wbinvd"),
+        (FlushStrategy::RangeFlush, "range-flush"),
+        (FlushStrategy::DirtyLines, "dirty-lines"),
+    ] {
+        // Updates over the full keyspace: dirty set per ε-interval is still
+        // tiny next to the 100k-key structure.
+        g.bench_function(format!("hashmap-100k-uniform/{sname}"), |b| {
+            let prep = prep(strategy);
+            let token = prep.register(0);
+            let mut gen = MapOpGen::new(0, KEYS, 0);
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    prep.execute(&token, gen.next_op());
+                }
+            });
+        });
+
+        // Zipfian updates: hot lines dedupe inside a checkpoint interval.
+        g.bench_function(format!("hashmap-100k-zipf/{sname}"), |b| {
+            let prep = prep(strategy);
+            let token = prep.register(0);
+            let mut zipf = ZipfianGen::new(KEYS, 0.99, 0);
+            let mut insert_next = true;
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    let key = zipf.next_key();
+                    let op = if insert_next {
+                        MapOp::Insert {
+                            key,
+                            value: key ^ 0xABCD,
+                        }
+                    } else {
+                        MapOp::Remove { key }
+                    };
+                    insert_next = !insert_next;
+                    prep.execute(&token, op);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_strategies);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! One driver per paper figure (see DESIGN.md's per-experiment index).
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod extension;
 pub mod fig1;
 pub mod fig2;

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p prep-bench --release -- <figure> [options]
 //!
-//! figures:  fig1 fig2 fig3 fig4 fig5 fig6 ablation extension shard all
+//! figures:  fig1 fig2 fig3 fig4 fig5 fig6 ablation extension shard checkpoint all
 //! options:
 //!   --full            paper-scale parameters (1M keys, 10 s trials, 95 threads)
 //!   --threads a,b,c   worker-thread sweep (default quick: 1,2,4,7)
@@ -21,7 +21,7 @@ static ALLOC: prep_pmem::alloc::SwappableAllocator = prep_pmem::alloc::Swappable
 
 fn usage() -> ! {
     eprintln!(
-        "usage: prep-bench <fig1|fig2|fig3|fig4|fig5|fig6|ablation|extension|shard|all> \
+        "usage: prep-bench <fig1|fig2|fig3|fig4|fig5|fig6|ablation|extension|shard|checkpoint|all> \
          [--full] [--threads a,b,c] [--seconds S] [--ds hashmap|rbtree]"
     );
     std::process::exit(2);
@@ -89,6 +89,7 @@ fn main() {
         "ablation" => figures::ablation::run(&opts),
         "extension" => figures::extension::run(&opts),
         "shard" => figures::shard::run(&opts),
+        "checkpoint" => figures::checkpoint::run(&opts),
         "all" => {
             figures::fig1::run(&opts);
             figures::fig2::run(&opts);
@@ -99,6 +100,7 @@ fn main() {
             figures::ablation::run(&opts);
             figures::extension::run(&opts);
             figures::shard::run(&opts);
+            figures::checkpoint::run(&opts);
         }
         _ => usage(),
     }

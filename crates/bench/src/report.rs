@@ -59,6 +59,51 @@ pub fn row(panel: &str, series: &str, cell: &CellResult) {
     );
 }
 
+/// Prints the checkpoint figure's title banner (write-back traffic
+/// columns).
+pub fn checkpoint_banner(fig: &str, description: &str) {
+    println!();
+    println!("== {fig}: {description}");
+    println!(
+        "{:<16} {:<12} {:<10} {:>7} {:>12} {:>8} {:>14} {:>11} {:>9}",
+        "panel",
+        "series",
+        "skew",
+        "threads",
+        "ops/sec",
+        "ckpts",
+        "ckpt_bytes/op",
+        "lines/ckpt",
+        "flush/op"
+    );
+}
+
+/// Prints one checkpoint-sweep measurement row.
+pub fn checkpoint_row(panel: &str, series: &str, skew: &str, cell: &CellResult) {
+    let bytes_per_op = if cell.m.total_ops == 0 {
+        0.0
+    } else {
+        cell.stats.checkpoint_bytes as f64 / cell.m.total_ops as f64
+    };
+    let lines_per_ckpt = if cell.stats.checkpoints == 0 {
+        0.0
+    } else {
+        cell.stats.checkpoint_lines as f64 / cell.stats.checkpoints as f64
+    };
+    println!(
+        "{:<16} {:<12} {:<10} {:>7} {:>12.0} {:>8} {:>14.1} {:>11.1} {:>9.3}",
+        panel,
+        series,
+        skew,
+        cell.m.threads,
+        cell.m.ops_per_sec(),
+        cell.stats.checkpoints,
+        bytes_per_op,
+        lines_per_ckpt,
+        cell.flushes_per_op(),
+    );
+}
+
 /// Prints the shard-sweep figure's title banner (per-shard columns).
 pub fn shard_banner(fig: &str, description: &str) {
     println!();

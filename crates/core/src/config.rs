@@ -30,6 +30,15 @@ pub enum FlushStrategy {
     /// proportional to the structure — wins for tiny structures. The
     /// ablation benches measure the crossover.
     RangeFlush,
+    /// Incremental checkpointing: one `CLFLUSHOPT` per **distinct dirty
+    /// line** accrued since the last checkpoint
+    /// ([`prep_seqds::SequentialObject::dirty_bytes_since_checkpoint`]) +
+    /// one `SFENCE` — cost proportional to the checkpoint interval's write
+    /// set, not the structure. Falls back to `RangeFlush` behavior for
+    /// objects without precise dirty tracking. The crash-sim image is
+    /// updated by replaying the interval's ops onto the stored snapshot
+    /// (`ReplicaImage::apply_delta`) instead of deep-cloning the replica.
+    DirtyLines,
 }
 
 /// Construction parameters for [`crate::PrepUc`].

@@ -24,6 +24,12 @@ use crate::puc::NrInner;
 pub(crate) struct PReplica<T: SequentialObject> {
     pub(crate) ds: T,
     pub(crate) local_tail: u64,
+    /// Ops applied since this replica's last checkpoint, buffered for the
+    /// incremental crash-sim image update (`DirtyLines` only, and only when
+    /// crash simulation is on). Buffered at apply time because log slots
+    /// below the persistent tails may be recycled (logMin, §5.1) before the
+    /// checkpoint runs — the log cannot be re-read for the delta.
+    pub(crate) pending: Vec<T::Op>,
 }
 
 /// Everything the persistence thread needs, moved into it at spawn.
@@ -45,6 +51,16 @@ impl<T: SequentialObject> PersistenceTask<T> {
         let rt = Arc::clone(&self.state.rt);
         let op_bytes = std::mem::size_of::<T::Op>() as u64;
         let mut w = Waiter::new();
+        let dirty_lines = self.flush_strategy == FlushStrategy::DirtyLines;
+        // Precise dirty tracking is enabled only on the persistence
+        // replicas (the volatile NR replicas keep the zero-cost fallback),
+        // and only when the flush strategy will consume it.
+        if dirty_lines {
+            for rep in &mut self.replicas {
+                rep.ds.clear_dirty();
+            }
+        }
+        let buffer_delta = dirty_lines && rt.crash_sim_enabled();
 
         loop {
             if self.state.stop.load(Ordering::Acquire) {
@@ -61,11 +77,15 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // background-flush hazard).
                 self.images[active].mark_torn(&rt);
                 let ds = &mut rep.ds;
+                let pending = &mut rep.pending;
                 let swap = self.allocator_swap;
                 self.nr.log().for_each_op(rep.local_tail, tail, |_, op| {
                     // Stores to the NVM-resident replica are slower than
                     // DRAM stores; charge them.
                     rt.nvm_write(op_bytes);
+                    if buffer_delta {
+                        pending.push(op.clone());
+                    }
                     if swap {
                         prep_pmem::alloc::with_persistent(|| {
                             ds.apply(op);
@@ -101,21 +121,58 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 gate_closed && rep.local_tail == tail && rep.local_tail + self.epsilon > boundary;
             if boundary <= rep.local_tail || backstop {
                 // Write the active replica back to NVM, making it durable
-                // and consistent: WBINVD (paper default) or a per-line
-                // range flush (the §6 alternative for tiny structures).
-                let bytes = rep.ds.approx_bytes();
-                match self.flush_strategy {
-                    FlushStrategy::Wbinvd => rt.wbinvd(bytes),
-                    FlushStrategy::RangeFlush => rt.flush_range(bytes),
-                }
+                // and consistent: WBINVD (paper default), a per-line range
+                // flush (the §6 alternative for tiny structures), or — the
+                // incremental path — one CLFLUSHOPT per distinct line
+                // dirtied since this replica's last checkpoint.
+                let full_bytes = rep.ds.approx_bytes();
+                let flushed_bytes = match self.flush_strategy {
+                    FlushStrategy::Wbinvd => {
+                        rt.wbinvd(full_bytes);
+                        full_bytes
+                    }
+                    FlushStrategy::RangeFlush => {
+                        rt.flush_range(full_bytes);
+                        full_bytes
+                    }
+                    FlushStrategy::DirtyLines => {
+                        let dirty = rep.ds.dirty_bytes_since_checkpoint();
+                        if dirty > 0 {
+                            rt.flush_range(dirty);
+                        }
+                        dirty
+                    }
+                };
                 rt.sfence();
+                rt.count_checkpoint(flushed_bytes);
                 if rt.crash_sim_enabled() {
-                    self.images[active].install_snapshot(
-                        &rt,
-                        rep.ds.clone_object(),
-                        rep.local_tail,
-                        bytes,
-                    );
+                    if dirty_lines {
+                        // Incremental image update: replay exactly the ops
+                        // this replica applied since its last checkpoint
+                        // onto the stored snapshot. No deep clone — an
+                        // unchanged replica checkpoints for free.
+                        let ops = std::mem::take(&mut rep.pending);
+                        self.images[active].apply_delta(
+                            &rt,
+                            rep.local_tail,
+                            flushed_bytes,
+                            |img| {
+                                for op in &ops {
+                                    img.apply(op);
+                                }
+                            },
+                        );
+                    } else {
+                        self.images[active].install_snapshot(
+                            &rt,
+                            rep.ds.clone_object(),
+                            rep.local_tail,
+                            full_bytes,
+                        );
+                    }
+                }
+                if dirty_lines {
+                    rep.ds.clear_dirty();
                 }
                 // Swap active/stable; persist the selector (CLFLUSH, §5.1)
                 // BEFORE raising the boundary: the boundary admits new

@@ -75,10 +75,12 @@ impl<T: SequentialObject> PrepUc<T> {
             PReplica {
                 ds: obj.clone_object(),
                 local_tail: 0,
+                pending: Vec::new(),
             },
             PReplica {
                 ds: obj,
                 local_tail: 0,
+                pending: Vec::new(),
             },
         ];
         let persistence = spawn_persistence_thread(PersistenceTask {

@@ -25,6 +25,12 @@ use crossbeam_utils::CachePadded;
 use prep_sync::Waiter;
 
 /// One log slot: the emptyBit plus space for an operation.
+///
+/// Slots are stored cacheline-padded (§5.1: combiners on different nodes
+/// write disjoint reserved ranges while appliers poll emptyBits; without
+/// padding, a write to slot `i` invalidates the line holding neighboring
+/// slots on every other core polling them — false sharing that grows with
+/// thread count).
 struct Entry<O> {
     empty_bit: AtomicBool,
     op: UnsafeCell<MaybeUninit<O>>,
@@ -38,7 +44,7 @@ unsafe impl<O: Send> Sync for Entry<O> {}
 
 /// The shared circular operation log.
 pub struct Log<O> {
-    entries: Box<[Entry<O>]>,
+    entries: Box<[CachePadded<Entry<O>>]>,
     size: u64,
     log_tail: CachePadded<AtomicU64>,
     completed_tail: CachePadded<AtomicU64>,
@@ -52,10 +58,12 @@ impl<O: Clone> Log<O> {
     /// Panics if `size < 2`.
     pub fn new(size: u64) -> Self {
         assert!(size >= 2, "log must have at least two slots");
-        let entries: Box<[Entry<O>]> = (0..size)
-            .map(|_| Entry {
-                empty_bit: AtomicBool::new(false),
-                op: UnsafeCell::new(MaybeUninit::uninit()),
+        let entries: Box<[CachePadded<Entry<O>>]> = (0..size)
+            .map(|_| {
+                CachePadded::new(Entry {
+                    empty_bit: AtomicBool::new(false),
+                    op: UnsafeCell::new(MaybeUninit::uninit()),
+                })
             })
             .collect();
         Log {
@@ -256,6 +264,18 @@ mod tests {
                 return t;
             }
         }
+    }
+
+    #[test]
+    fn entries_are_cacheline_padded() {
+        // Two adjacent slots must never share a cacheline (§5.1 false
+        // sharing): the padded slot is at least a line wide and
+        // line-aligned.
+        let slot = std::mem::size_of::<CachePadded<Entry<u64>>>();
+        let align = std::mem::align_of::<CachePadded<Entry<u64>>>();
+        assert!(slot >= 64, "padded slot smaller than a cacheline: {slot}");
+        assert!(align >= 64, "padded slot under-aligned: {align}");
+        assert!(slot.is_multiple_of(align));
     }
 
     #[test]

@@ -127,6 +127,16 @@ impl PmemRuntime {
         PENDING_FLUSHES.with(|p| p.set(p.get() + lines));
     }
 
+    /// Records checkpoint accounting: one replica checkpoint that wrote
+    /// back `bytes` of replica state (whole replica under WBINVD/range
+    /// flush, only the dirty set under dirty-line flushing). Pure
+    /// bookkeeping — the flush cost itself is charged by the caller through
+    /// [`PmemRuntime::wbinvd`] / [`PmemRuntime::flush_range`].
+    #[inline]
+    pub fn count_checkpoint(&self, bytes: u64) {
+        self.stats.count_checkpoint(bytes);
+    }
+
     /// Charges the extra write latency for `bytes` of stores that target
     /// NVM (used when the persistence thread replays operations onto a
     /// persistent replica).

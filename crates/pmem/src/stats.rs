@@ -19,6 +19,9 @@ pub struct PmemStats {
     wbinvd: CachePadded<AtomicU64>,
     bytes_persisted: CachePadded<AtomicU64>,
     snapshots: CachePadded<AtomicU64>,
+    checkpoints: CachePadded<AtomicU64>,
+    checkpoint_bytes: CachePadded<AtomicU64>,
+    checkpoint_lines: CachePadded<AtomicU64>,
 }
 
 /// A point-in-time copy of [`PmemStats`].
@@ -36,6 +39,14 @@ pub struct PmemStatsSnapshot {
     pub bytes_persisted: u64,
     /// Replica snapshots installed (== successful persist cycles).
     pub snapshots: u64,
+    /// Replica checkpoint flushes (one per persist cycle, any strategy).
+    pub checkpoints: u64,
+    /// Bytes written back by replica checkpoints: the whole replica under
+    /// `Wbinvd`/`RangeFlush`, only the dirty set under `DirtyLines`.
+    pub checkpoint_bytes: u64,
+    /// Cachelines written back by replica checkpoints (`⌈bytes / 64⌉` per
+    /// checkpoint).
+    pub checkpoint_lines: u64,
 }
 
 impl PmemStats {
@@ -72,6 +83,13 @@ impl PmemStats {
         self.snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_checkpoint(&self, bytes: u64) {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.checkpoint_lines
+            .fetch_add(bytes.div_ceil(64), Ordering::Relaxed);
+    }
+
     /// Number of WBINVDs so far (cheap accessor for progress probes).
     pub fn wbinvd_count(&self) -> u64 {
         self.wbinvd.load(Ordering::Relaxed)
@@ -92,6 +110,9 @@ impl PmemStats {
             wbinvd: self.wbinvd.load(Ordering::Relaxed),
             bytes_persisted: self.bytes_persisted.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            checkpoint_lines: self.checkpoint_lines.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,6 +130,13 @@ impl PmemStatsSnapshot {
             wbinvd: self.wbinvd.saturating_sub(earlier.wbinvd),
             bytes_persisted: self.bytes_persisted.saturating_sub(earlier.bytes_persisted),
             snapshots: self.snapshots.saturating_sub(earlier.snapshots),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            checkpoint_bytes: self
+                .checkpoint_bytes
+                .saturating_sub(earlier.checkpoint_bytes),
+            checkpoint_lines: self
+                .checkpoint_lines
+                .saturating_sub(earlier.checkpoint_lines),
         }
     }
 
@@ -137,6 +165,7 @@ mod tests {
         s.count_wbinvd();
         s.count_bytes(128);
         s.count_snapshot();
+        s.count_checkpoint(100); // 100 bytes → 2 lines
         let snap = s.snapshot();
         assert_eq!(snap.clflush, 1);
         assert_eq!(snap.clflushopt, 2);
@@ -144,6 +173,9 @@ mod tests {
         assert_eq!(snap.wbinvd, 1);
         assert_eq!(snap.bytes_persisted, 128);
         assert_eq!(snap.snapshots, 1);
+        assert_eq!(snap.checkpoints, 1);
+        assert_eq!(snap.checkpoint_bytes, 100);
+        assert_eq!(snap.checkpoint_lines, 2);
         assert_eq!(snap.total_flushes(), 3);
     }
 

@@ -6,7 +6,17 @@
 //! synchronization, no persistence — the universal constructions provide
 //! both.
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: bucket headers live at
+/// `b × 24`, bucket `b`'s chain entries in a window at
+/// `ENTRY_BASE + (b << 16) + slot × 16`, and the `len` counter on its own
+/// line at `LEN_BASE`. Stable across everything except a resize, which
+/// rehashes (moves) every entry and therefore saturates the tracker.
+const ENTRY_BASE: u64 = 1 << 40;
+const LEN_BASE: u64 = 1 << 50;
+const BUCKET_HEADER_BYTES: u64 = std::mem::size_of::<Vec<(u64, u64)>>() as u64;
+const ENTRY_BYTES: u64 = std::mem::size_of::<(u64, u64)>() as u64;
 
 /// Operations on [`HashMap`]; this enum is the log-entry payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +78,7 @@ pub enum MapResp {
 pub struct HashMap {
     buckets: Vec<Vec<(u64, u64)>>,
     len: usize,
+    dirty: DirtyTracker,
 }
 
 impl HashMap {
@@ -83,7 +94,22 @@ impl HashMap {
         HashMap {
             buckets: vec![Vec::new(); n],
             len: 0,
+            dirty: DirtyTracker::new(),
         }
+    }
+
+    #[inline]
+    fn touch_entry(&mut self, bucket: usize, slot: usize) {
+        self.dirty.touch(
+            ENTRY_BASE + ((bucket as u64) << 16) + slot as u64 * ENTRY_BYTES,
+            ENTRY_BYTES,
+        );
+    }
+
+    #[inline]
+    fn touch_bucket_header(&mut self, bucket: usize) {
+        self.dirty
+            .touch(bucket as u64 * BUCKET_HEADER_BYTES, BUCKET_HEADER_BYTES);
     }
 
     #[inline]
@@ -99,23 +125,31 @@ impl HashMap {
             self.resize();
         }
         let b = self.bucket_of(key);
-        for slot in &mut self.buckets[b] {
-            if slot.0 == key {
-                return Some(std::mem::replace(&mut slot.1, value));
-            }
+        if let Some(pos) = self.buckets[b].iter().position(|&(k, _)| k == key) {
+            self.touch_entry(b, pos);
+            return Some(std::mem::replace(&mut self.buckets[b][pos].1, value));
         }
+        let slot = self.buckets[b].len();
         self.buckets[b].push((key, value));
         self.len += 1;
+        self.touch_entry(b, slot);
+        self.touch_bucket_header(b);
+        self.dirty.touch(LEN_BASE, 8);
         None
     }
 
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: u64) -> Option<u64> {
         let b = self.bucket_of(key);
-        let chain = &mut self.buckets[b];
-        if let Some(pos) = chain.iter().position(|&(k, _)| k == key) {
+        if let Some(pos) = self.buckets[b].iter().position(|&(k, _)| k == key) {
             self.len -= 1;
-            Some(chain.swap_remove(pos).1)
+            // swap_remove writes the tail entry into `pos`.
+            let last = self.buckets[b].len() - 1;
+            self.touch_entry(b, pos);
+            self.touch_entry(b, last);
+            self.touch_bucket_header(b);
+            self.dirty.touch(LEN_BASE, 8);
+            Some(self.buckets[b].swap_remove(pos).1)
         } else {
             None
         }
@@ -151,6 +185,8 @@ impl HashMap {
     }
 
     fn resize(&mut self) {
+        // Every entry rehashes into a fresh table: the whole map is dirty.
+        self.dirty.touch_all();
         let new_n = self.buckets.len() * 2;
         let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_n]);
         let entries: Vec<(u64, u64)> = old.into_iter().flatten().collect();
@@ -201,6 +237,14 @@ impl SequentialObject for HashMap {
     fn approx_bytes(&self) -> u64 {
         (self.buckets.len() * std::mem::size_of::<Vec<(u64, u64)>>()
             + self.len * std::mem::size_of::<(u64, u64)>()) as u64
+    }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
     }
 }
 
@@ -260,6 +304,43 @@ mod tests {
         b.insert(2, 2);
         assert!(!a.contains(2));
         assert!(b.contains(1));
+    }
+
+    #[test]
+    fn dirty_bytes_track_write_set_not_structure_size() {
+        let mut m = HashMap::with_buckets(1 << 14); // big enough to never resize
+        for k in 0..5_000u64 {
+            m.insert(k, k);
+        }
+        // Before tracking is enabled, the fallback is the whole structure.
+        assert_eq!(m.dirty_bytes_since_checkpoint(), m.approx_bytes());
+        m.clear_dirty();
+        assert_eq!(m.dirty_bytes_since_checkpoint(), 0);
+        // A single overwrite dirties a constant number of lines…
+        m.insert(42, 999);
+        let one = m.dirty_bytes_since_checkpoint();
+        assert!((64..=3 * 64).contains(&one), "one op dirtied {one} bytes");
+        // …and rewriting the same key repeatedly adds no new lines.
+        for _ in 0..100 {
+            m.insert(42, 1000);
+        }
+        assert_eq!(m.dirty_bytes_since_checkpoint(), one);
+        assert!(
+            m.approx_bytes() > 100 * one,
+            "fallback must dwarf dirty set"
+        );
+    }
+
+    #[test]
+    fn resize_saturates_dirty_tracking() {
+        let mut m = HashMap::with_buckets(2);
+        m.clear_dirty();
+        for k in 0..100u64 {
+            m.insert(k, k); // forces several resizes
+        }
+        assert_eq!(m.dirty_bytes_since_checkpoint(), m.approx_bytes());
+        m.clear_dirty();
+        assert_eq!(m.dirty_bytes_since_checkpoint(), 0);
     }
 
     #[test]

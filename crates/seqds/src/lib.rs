@@ -81,4 +81,147 @@ pub trait SequentialObject: Clone + Send + Sync + 'static {
     /// Rough current size in bytes, used by the persistence cost model
     /// (WBINVD footprint, CX's whole-replica flush).
     fn approx_bytes(&self) -> u64;
+
+    /// Bytes whose cachelines have been dirtied by updates since the last
+    /// [`SequentialObject::clear_dirty`] — what an incremental checkpoint
+    /// has to flush instead of the whole structure.
+    ///
+    /// The default is the conservative fallback: the entire structure
+    /// ([`SequentialObject::approx_bytes`]), which makes
+    /// `FlushStrategy::DirtyLines` behave exactly like `RangeFlush` for
+    /// objects without precise tracking. Implementations with precise
+    /// tracking (all of `prep-seqds`, via [`DirtyTracker`]) return
+    /// `64 × |distinct dirty lines|`.
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.approx_bytes()
+    }
+
+    /// Resets dirty tracking after a checkpoint flush; from this point the
+    /// object accrues a fresh dirty set. Default: no-op (paired with the
+    /// whole-structure fallback above).
+    fn clear_dirty(&mut self) {}
+}
+
+/// Models a cacheline in bytes — the unit `clflush`/`clflushopt` operate on.
+pub const CACHE_LINE: u64 = 64;
+
+/// Tracks the set of **distinct dirty cachelines** of a sequential object
+/// between checkpoints, over a *logical* address space the structure
+/// defines for itself (e.g. the hashmap maps bucket `b`, slot `s` to a
+/// stable offset; the red-black tree maps arena node `i` to `i × 32`).
+///
+/// Tracking is off until the first [`DirtyTracker::reset`] — the universal
+/// construction's persistence thread enables it only on the persistent
+/// replicas it checkpoints, so the N volatile NR replicas (which apply every
+/// op on the combiner hot path) pay one branch per touch and nothing more.
+///
+/// While off, [`DirtyTracker::dirty_bytes`] returns the caller-supplied
+/// whole-structure fallback, matching the `SequentialObject` default.
+#[derive(Debug, Clone, Default)]
+pub struct DirtyTracker {
+    lines: Option<std::collections::HashSet<u64>>,
+    /// Set when a mutation moved the whole structure (e.g. a hashmap
+    /// resize or arena reallocation): everything is dirty until `reset`.
+    saturated: bool,
+}
+
+impl DirtyTracker {
+    /// A tracker in the off (fallback) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once [`DirtyTracker::reset`] has switched precise tracking on.
+    pub fn is_tracking(&self) -> bool {
+        self.lines.is_some()
+    }
+
+    /// Marks the lines spanned by `len` bytes at logical offset `offset`.
+    #[inline]
+    pub fn touch(&mut self, offset: u64, len: u64) {
+        if let Some(lines) = &mut self.lines {
+            if self.saturated || len == 0 {
+                return;
+            }
+            let first = offset / CACHE_LINE;
+            let last = offset.saturating_add(len - 1) / CACHE_LINE;
+            for line in first..=last {
+                lines.insert(line);
+            }
+        }
+    }
+
+    /// Marks the entire structure dirty (wholesale moves: resize, arena
+    /// growth). Cleared by the next [`DirtyTracker::reset`].
+    #[inline]
+    pub fn touch_all(&mut self) {
+        if self.lines.is_some() {
+            self.saturated = true;
+        }
+    }
+
+    /// Bytes to flush for an incremental checkpoint: `64 × |dirty lines|`
+    /// when tracking, or `whole_structure` when off or saturated.
+    pub fn dirty_bytes(&self, whole_structure: u64) -> u64 {
+        match &self.lines {
+            Some(lines) if !self.saturated => (lines.len() as u64) * CACHE_LINE,
+            _ => whole_structure,
+        }
+    }
+
+    /// Clears the dirty set and enables precise tracking.
+    pub fn reset(&mut self) {
+        self.saturated = false;
+        match &mut self.lines {
+            Some(lines) => lines.clear(),
+            None => self.lines = Some(std::collections::HashSet::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod dirty_tracker_tests {
+    use super::*;
+
+    #[test]
+    fn off_by_default_falls_back_to_whole_structure() {
+        let mut t = DirtyTracker::new();
+        assert!(!t.is_tracking());
+        t.touch(0, 1024); // ignored while off
+        assert_eq!(t.dirty_bytes(9999), 9999);
+    }
+
+    #[test]
+    fn tracks_distinct_lines_after_reset() {
+        let mut t = DirtyTracker::new();
+        t.reset();
+        assert!(t.is_tracking());
+        assert_eq!(t.dirty_bytes(9999), 0);
+        t.touch(0, 8); // line 0
+        t.touch(8, 8); // line 0 again — no new line
+        t.touch(63, 2); // straddles lines 0 and 1
+        assert_eq!(t.dirty_bytes(9999), 2 * CACHE_LINE);
+        t.reset();
+        assert_eq!(t.dirty_bytes(9999), 0);
+    }
+
+    #[test]
+    fn saturation_reports_whole_structure_until_reset() {
+        let mut t = DirtyTracker::new();
+        t.reset();
+        t.touch(0, 8);
+        t.touch_all();
+        assert_eq!(t.dirty_bytes(4096), 4096);
+        t.reset();
+        t.touch(128, 8);
+        assert_eq!(t.dirty_bytes(4096), CACHE_LINE);
+    }
+
+    #[test]
+    fn zero_length_touch_is_ignored() {
+        let mut t = DirtyTracker::new();
+        t.reset();
+        t.touch(100, 0);
+        assert_eq!(t.dirty_bytes(4096), 0);
+    }
 }

@@ -7,7 +7,15 @@
 //! it creates lands in the persistent arena without this file knowing
 //! anything about persistence.
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: keys are unique (it's a set), so
+/// the node holding `key` gets the stable address `key × 16`
+/// (`size_of::<ListNode>()`), and the head pointer + length share a header
+/// line. An insert dirties the new node and its predecessor's `next`
+/// pointer; a remove dirties the predecessor only.
+const NODE_BYTES: u64 = 16;
+const HEADER_BASE: u64 = u64::MAX - 127;
 
 /// Operations on [`SortedList`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +50,7 @@ struct ListNode {
 pub struct SortedList {
     head: Option<Box<ListNode>>,
     len: usize,
+    dirty: DirtyTracker,
 }
 
 impl Clone for SortedList {
@@ -60,6 +69,7 @@ impl Clone for SortedList {
             cur = node.next.as_deref();
         }
         out.len = self.len;
+        out.dirty = self.dirty.clone();
         out
     }
 }
@@ -80,12 +90,27 @@ impl SortedList {
         self.len == 0
     }
 
+    #[inline]
+    fn touch_node(&mut self, key: u64) {
+        self.dirty.touch(key.wrapping_mul(NODE_BYTES), NODE_BYTES);
+    }
+
+    #[inline]
+    fn touch_link(&mut self, prev_key: Option<u64>) {
+        match prev_key {
+            Some(k) => self.touch_node(k),
+            None => self.dirty.touch(HEADER_BASE, 16),
+        }
+    }
+
     /// Inserts `key`; returns false if it was already present.
     pub fn insert(&mut self, key: u64) -> bool {
+        let mut prev_key = None;
         let mut cursor = &mut self.head;
         loop {
             match cursor {
                 Some(node) if node.key < key => {
+                    prev_key = Some(node.key);
                     cursor = &mut cursor.as_mut().unwrap().next;
                 }
                 Some(node) if node.key == key => return false,
@@ -95,21 +120,28 @@ impl SortedList {
         let next = cursor.take();
         *cursor = Some(Box::new(ListNode { key, next }));
         self.len += 1;
+        self.touch_node(key);
+        self.touch_link(prev_key);
+        self.dirty.touch(HEADER_BASE, 16);
         true
     }
 
     /// Removes `key`; returns false if it was absent.
     pub fn remove(&mut self, key: u64) -> bool {
+        let mut prev_key = None;
         let mut cursor = &mut self.head;
         loop {
             match cursor {
                 Some(node) if node.key < key => {
+                    prev_key = Some(node.key);
                     cursor = &mut cursor.as_mut().unwrap().next;
                 }
                 Some(node) if node.key == key => {
                     let next = node.next.take();
                     *cursor = next;
                     self.len -= 1;
+                    self.touch_link(prev_key);
+                    self.dirty.touch(HEADER_BASE, 16);
                     return true;
                 }
                 _ => return false,
@@ -183,11 +215,37 @@ impl SequentialObject for SortedList {
     fn approx_bytes(&self) -> u64 {
         (self.len * std::mem::size_of::<ListNode>()) as u64
     }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn node_bytes_constant_matches_layout() {
+        assert_eq!(NODE_BYTES, std::mem::size_of::<ListNode>() as u64);
+    }
+
+    #[test]
+    fn dirty_bytes_track_splice_sites() {
+        let mut l = SortedList::new();
+        for k in 0..1_000u64 {
+            l.insert(k * 100); // spread keys across distinct lines
+        }
+        l.clear_dirty();
+        l.insert(50_000_000); // tail insert: node + predecessor + header
+        let dirty = l.dirty_bytes_since_checkpoint();
+        assert!(dirty > 0 && dirty <= 4 * 64, "insert dirtied {dirty} bytes");
+        assert!(l.approx_bytes() > dirty);
+    }
 
     #[test]
     fn insert_keeps_sorted_unique() {

@@ -3,7 +3,13 @@
 //! max-heap over a vector — reimplemented here rather than wrapping
 //! `BinaryHeap` so the heap property is test-visible).
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: heap slot `i` lives at `i × 8`;
+/// the length counter has its own header line. Every swap along a sift path
+/// touches both slots, so an op's dirty set is its sift path — O(log n)
+/// lines, not O(n).
+const HEADER_BASE: u64 = 1 << 50;
 
 /// Operations on [`PriorityQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +39,7 @@ pub enum PqResp {
 #[derive(Debug, Clone, Default)]
 pub struct PriorityQueue {
     heap: Vec<u64>,
+    dirty: DirtyTracker,
 }
 
 impl PriorityQueue {
@@ -51,9 +58,16 @@ impl PriorityQueue {
         self.heap.is_empty()
     }
 
+    #[inline]
+    fn touch_slot(&mut self, i: usize) {
+        self.dirty.touch(i as u64 * 8, 8);
+    }
+
     /// Inserts `v`.
     pub fn enqueue(&mut self, v: u64) {
         self.heap.push(v);
+        self.touch_slot(self.heap.len() - 1);
+        self.dirty.touch(HEADER_BASE, 8);
         self.sift_up(self.heap.len() - 1);
     }
 
@@ -64,6 +78,8 @@ impl PriorityQueue {
         }
         let last = self.heap.len() - 1;
         self.heap.swap(0, last);
+        self.touch_slot(0);
+        self.dirty.touch(HEADER_BASE, 8);
         let top = self.heap.pop();
         if !self.heap.is_empty() {
             self.sift_down(0);
@@ -83,6 +99,8 @@ impl PriorityQueue {
                 break;
             }
             self.heap.swap(i, parent);
+            self.touch_slot(i);
+            self.touch_slot(parent);
             i = parent;
         }
     }
@@ -103,6 +121,8 @@ impl PriorityQueue {
                 break;
             }
             self.heap.swap(i, largest);
+            self.touch_slot(i);
+            self.touch_slot(largest);
             i = largest;
         }
     }
@@ -154,11 +174,34 @@ impl SequentialObject for PriorityQueue {
     fn approx_bytes(&self) -> u64 {
         (self.heap.len() * std::mem::size_of::<u64>()) as u64
     }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dirty_bytes_bounded_by_sift_path() {
+        let mut pq = PriorityQueue::new();
+        for v in 0..4_096u64 {
+            pq.enqueue(v);
+        }
+        pq.clear_dirty();
+        pq.enqueue(u64::MAX); // worst case: sifts to the root, log₂ n swaps
+        let dirty = pq.dirty_bytes_since_checkpoint();
+        assert!(dirty > 0);
+        // ≤ (path length + appended slot + header) lines.
+        assert!(dirty <= 15 * 64, "sift dirtied {dirty} bytes");
+        assert!(pq.approx_bytes() > dirty);
+    }
 
     #[test]
     fn dequeues_in_descending_order() {

@@ -3,7 +3,15 @@
 
 use std::collections::VecDeque;
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: the slot written by the `i`-th
+/// enqueue ever performed lives at `i × 8` (a ring buffer reuses physical
+/// slots; distinct-line counts per checkpoint interval match as long as the
+/// interval's writes don't wrap the ring), and the head/tail indices share
+/// one header line. Dequeues only advance the head index — the vacated slot
+/// is not rewritten.
+const HEADER_BASE: u64 = 1 << 50;
 
 /// Operations on [`Queue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +41,8 @@ pub enum QueueResp {
 #[derive(Debug, Clone, Default)]
 pub struct Queue {
     items: VecDeque<u64>,
+    enq_seq: u64,
+    dirty: DirtyTracker,
 }
 
 impl Queue {
@@ -43,12 +53,19 @@ impl Queue {
 
     /// Appends `v` at the tail.
     pub fn enqueue(&mut self, v: u64) {
+        self.dirty.touch(self.enq_seq * 8, 8);
+        self.dirty.touch(HEADER_BASE, 16);
+        self.enq_seq += 1;
         self.items.push_back(v);
     }
 
     /// Removes and returns the head.
     pub fn dequeue(&mut self) -> Option<u64> {
-        self.items.pop_front()
+        let v = self.items.pop_front();
+        if v.is_some() {
+            self.dirty.touch(HEADER_BASE, 16);
+        }
+        v
     }
 
     /// Reads the head without removing it.
@@ -102,11 +119,33 @@ impl SequentialObject for Queue {
     fn approx_bytes(&self) -> u64 {
         (self.items.len() * std::mem::size_of::<u64>()) as u64
     }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CACHE_LINE;
+
+    #[test]
+    fn dirty_bytes_track_appended_slots() {
+        let mut q = Queue::new();
+        q.clear_dirty();
+        for v in 0..8u64 {
+            q.enqueue(v); // 8 slots = 1 data line, + 1 header line
+        }
+        assert_eq!(q.dirty_bytes_since_checkpoint(), 2 * CACHE_LINE);
+        q.clear_dirty();
+        assert_eq!(q.dequeue(), Some(0)); // header only
+        assert_eq!(q.dirty_bytes_since_checkpoint(), CACHE_LINE);
+    }
 
     #[test]
     fn fifo_order() {

@@ -10,7 +10,15 @@
 //! harness can swap map implementations under the same workload.
 
 use crate::hashmap::{MapOp, MapResp};
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: arena node `i` lives at
+/// `i × size_of::<Node>()`; root/len/free-list head share a header line.
+/// Every structural mutation flows through [`RbTree::nm`], so the dirty set
+/// of one op is exactly the nodes its search path rewrote — O(log n) lines.
+/// Growing the arena reallocates (moves) every node and saturates the
+/// tracker.
+const HEADER_BASE: u64 = 1 << 50;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Color {
@@ -38,6 +46,7 @@ pub struct RbTree {
     free: Vec<u32>,
     root: u32,
     len: usize,
+    dirty: DirtyTracker,
 }
 
 impl RbTree {
@@ -55,7 +64,16 @@ impl RbTree {
             free: Vec::new(),
             root: NIL,
             len: 0,
+            dirty: DirtyTracker::new(),
         }
+    }
+
+    const NODE_BYTES: u64 = std::mem::size_of::<Node>() as u64;
+
+    #[inline]
+    fn touch_node(&mut self, i: u32) {
+        self.dirty
+            .touch(i as u64 * Self::NODE_BYTES, Self::NODE_BYTES);
     }
 
     #[inline]
@@ -65,6 +83,7 @@ impl RbTree {
 
     #[inline]
     fn nm(&mut self, i: u32) -> &mut Node {
+        self.touch_node(i);
         &mut self.nodes[i as usize]
     }
 
@@ -78,11 +97,18 @@ impl RbTree {
             color: Color::Red,
         };
         if let Some(i) = self.free.pop() {
+            self.touch_node(i);
             self.nodes[i as usize] = node;
             i
         } else {
+            if self.nodes.len() == self.nodes.capacity() {
+                // The arena reallocates: every node moves.
+                self.dirty.touch_all();
+            }
             self.nodes.push(node);
-            (self.nodes.len() - 1) as u32
+            let i = (self.nodes.len() - 1) as u32;
+            self.touch_node(i);
+            i
         }
     }
 
@@ -171,6 +197,7 @@ impl RbTree {
             };
         }
         let z = self.alloc(key, value);
+        self.dirty.touch(HEADER_BASE, 24); // root / len / free head
         self.nm(z).parent = y;
         if y == NIL {
             self.root = z;
@@ -265,6 +292,7 @@ impl RbTree {
         if z == NIL {
             return None;
         }
+        self.dirty.touch(HEADER_BASE, 24); // root / len / free head
         let removed = self.n(z).value;
 
         let mut y = z;
@@ -462,11 +490,36 @@ impl SequentialObject for RbTree {
     fn approx_bytes(&self) -> u64 {
         (self.nodes.len() * std::mem::size_of::<Node>()) as u64
     }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dirty_bytes_bounded_by_search_path() {
+        let mut t = RbTree::new();
+        for k in 0..8_192u64 {
+            t.insert(k, k);
+        }
+        t.clear_dirty();
+        t.insert(3_000, 999); // overwrite: exactly the found node
+        let one = t.dirty_bytes_since_checkpoint();
+        assert!(one > 0 && one <= 2 * 64, "overwrite dirtied {one} bytes");
+        t.remove(4_000); // structural: fixup path, still O(log n)
+        let dirty = t.dirty_bytes_since_checkpoint();
+        assert!(dirty <= 64 * 64, "remove dirtied {dirty} bytes");
+        assert!(t.approx_bytes() > 10 * dirty);
+        t.check_invariants();
+    }
 
     #[test]
     fn basic_insert_get_remove() {

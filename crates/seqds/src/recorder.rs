@@ -11,7 +11,12 @@
 //!   operation that completed before the crash;
 //! * the **`ε + β − 1` loss bound** ⇔ `completed − recovered ≤ ε + β − 1`.
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: history slot `i` lives at
+/// `i × 8`; the length counter has its own header line. Append-only, so an
+/// interval's dirty set is the lines holding the ids recorded in it.
+const HEADER_BASE: u64 = 1 << 50;
 
 /// Operations on [`Recorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +44,7 @@ pub enum RecorderResp {
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
     history: Vec<u64>,
+    dirty: DirtyTracker,
 }
 
 impl Recorder {
@@ -65,6 +71,8 @@ impl SequentialObject for Recorder {
     fn apply(&mut self, op: &RecorderOp) -> RecorderResp {
         match *op {
             RecorderOp::Record(id) => {
+                self.dirty.touch(self.history.len() as u64 * 8, 8);
+                self.dirty.touch(HEADER_BASE, 8);
                 self.history.push(id);
                 RecorderResp::RecordedAt(self.history.len() as u64 - 1)
             }
@@ -93,6 +101,14 @@ impl SequentialObject for Recorder {
 
     fn approx_bytes(&self) -> u64 {
         (self.history.len() * std::mem::size_of::<u64>()) as u64
+    }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
     }
 }
 

@@ -1,6 +1,11 @@
 //! A LIFO stack (paper §6 "Stack").
 
-use crate::SequentialObject;
+use crate::{DirtyTracker, SequentialObject};
+
+/// Logical layout for dirty-line tracking: slot `i` of the backing vector
+/// lives at `i × 8`; the length counter has its own header line. A pop only
+/// decrements the length — the vacated slot is not rewritten.
+const HEADER_BASE: u64 = 1 << 50;
 
 /// Operations on [`Stack`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +35,7 @@ pub enum StackResp {
 #[derive(Debug, Clone, Default)]
 pub struct Stack {
     items: Vec<u64>,
+    dirty: DirtyTracker,
 }
 
 impl Stack {
@@ -40,12 +46,18 @@ impl Stack {
 
     /// Pushes `v`.
     pub fn push(&mut self, v: u64) {
+        self.dirty.touch(self.items.len() as u64 * 8, 8);
+        self.dirty.touch(HEADER_BASE, 8);
         self.items.push(v);
     }
 
     /// Pops the most recently pushed value.
     pub fn pop(&mut self) -> Option<u64> {
-        self.items.pop()
+        let v = self.items.pop();
+        if v.is_some() {
+            self.dirty.touch(HEADER_BASE, 8);
+        }
+        v
     }
 
     /// Reads the top without removing it.
@@ -99,11 +111,34 @@ impl SequentialObject for Stack {
     fn approx_bytes(&self) -> u64 {
         (self.items.len() * std::mem::size_of::<u64>()) as u64
     }
+
+    fn dirty_bytes_since_checkpoint(&self) -> u64 {
+        self.dirty.dirty_bytes(self.approx_bytes())
+    }
+
+    fn clear_dirty(&mut self) {
+        self.dirty.reset();
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CACHE_LINE;
+
+    #[test]
+    fn dirty_bytes_track_top_of_stack() {
+        let mut s = Stack::new();
+        for v in 0..1_000u64 {
+            s.push(v);
+        }
+        s.clear_dirty();
+        s.push(1_000); // one slot line + header line
+        assert_eq!(s.dirty_bytes_since_checkpoint(), 2 * CACHE_LINE);
+        s.pop(); // header already dirty
+        assert_eq!(s.dirty_bytes_since_checkpoint(), 2 * CACHE_LINE);
+        assert!(s.approx_bytes() > 2 * CACHE_LINE);
+    }
 
     #[test]
     fn lifo_order() {
