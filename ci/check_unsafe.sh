@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Unsafe-code audit, enforced in CI.
+#
+# Policy (DESIGN.md "Unsafe-code audit"):
+#   * A crate with no unsafe code must declare `#![forbid(unsafe_code)]`
+#     so none can creep in silently.
+#   * A crate that does use unsafe must declare
+#     `#![deny(unsafe_op_in_unsafe_fn)]`, and every file containing an
+#     unsafe site must carry at least one `// SAFETY:` justification.
+#
+# Pure grep — no toolchain required — so it runs before the build.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+for crate in crates/*/; do
+    name=$(basename "$crate")
+    lib="$crate/src/lib.rs"
+    [ -f "$lib" ] || continue
+
+    # Unsafe *sites* (blocks, fns, impls, traits) — not lint attributes
+    # or prose mentioning the word.
+    unsafe_files=$(grep -rlE '\bunsafe (\{|fn|impl|trait)' "$crate/src" --include='*.rs' || true)
+
+    if [ -z "$unsafe_files" ]; then
+        if ! grep -q '#!\[forbid(unsafe_code)\]' "$lib"; then
+            echo "FAIL: $name has no unsafe code but lacks #![forbid(unsafe_code)]"
+            fail=1
+        fi
+    else
+        if ! grep -q '#!\[deny(unsafe_op_in_unsafe_fn)\]' "$lib"; then
+            echo "FAIL: $name uses unsafe but lacks #![deny(unsafe_op_in_unsafe_fn)]"
+            fail=1
+        fi
+        for f in $unsafe_files; do
+            if ! grep -q 'SAFETY:' "$f"; then
+                echo "FAIL: $f contains unsafe sites but no // SAFETY: comment"
+                fail=1
+            fi
+        done
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "unsafe audit failed"
+    exit 1
+fi
+echo "unsafe audit OK"

@@ -1,0 +1,88 @@
+//! Sanitizer-overhead figure (repo extension, no paper counterpart).
+//!
+//! The `prep-psan` tracer piggybacks on every instrumented persist call
+//! (`PmemRuntime::{trace_store, clflushopt_at, publish_clflush, …}`). Two
+//! costs matter:
+//!
+//! * **tracing off** (production default): every hook is a relaxed atomic
+//!   load and an early return — must be within noise of a build without
+//!   the sanitizer at all;
+//! * **tracing on** (`PREP_PSAN` / CI's `psan` job): each persist event is
+//!   pushed onto a mutex-guarded trace — the price of running the whole
+//!   test suite under the rule engine.
+//!
+//! One durable Recorder workload per thread count, measured both ways,
+//! with the relative slowdown and the trace volume reported.
+
+use std::sync::Arc;
+
+use prep_seqds::recorder::{Recorder, RecorderOp};
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_prep, CellResult, OpStream};
+use crate::RunOpts;
+
+/// Per-worker stream of distinct Record ops.
+fn record_stream() -> impl Fn(usize) -> OpStream<RecorderOp> + Sync {
+    |w| {
+        let mut i = 0u64;
+        Box::new(move || {
+            i += 1;
+            RecorderOp::Record((w as u64) << 32 | i)
+        })
+    }
+}
+
+fn run_cell(opts: &RunOpts, threads: usize, traced: bool) -> (CellResult, usize) {
+    let rt = bench_runtime(opts);
+    if traced {
+        rt.psan_enable();
+    }
+    let (eps_small, _) = opts.epsilons();
+    let cfg = PrepConfig::new(DurabilityLevel::Durable)
+        .with_log_size(opts.log_size())
+        .with_epsilon(eps_small)
+        .with_runtime(Arc::clone(&rt));
+    let cell = run_prep(
+        Recorder::new(),
+        cfg,
+        topology(opts),
+        threads,
+        opts.seconds,
+        &record_stream(),
+    );
+    (cell, rt.psan_event_count())
+}
+
+/// Runs the sanitizer-overhead comparison.
+pub fn run(opts: &RunOpts) {
+    report::banner(
+        "Psan",
+        "persistence-ordering sanitizer overhead: durable recorder, \
+         tracing off vs on (events = trace volume)",
+    );
+    for &threads in &thread_sweep(opts) {
+        let (off, _) = run_cell(opts, threads, false);
+        let (on, events) = run_cell(opts, threads, true);
+        report::row("recorder-durable", "psan-off", &off);
+        report::row("recorder-durable", "psan-on", &on);
+        let off_rate = off.m.ops_per_sec();
+        let on_rate = on.m.ops_per_sec();
+        let overhead = if off_rate > 0.0 {
+            (off_rate - on_rate) / off_rate * 100.0
+        } else {
+            0.0
+        };
+        let per_op = if on.m.total_ops == 0 {
+            0.0
+        } else {
+            events as f64 / on.m.total_ops as f64
+        };
+        println!(
+            "  -> tracing overhead {overhead:+.1}% \
+             ({events} events, {per_op:.2} events/op)"
+        );
+    }
+}

@@ -281,6 +281,24 @@ where
     rec.into_history()
 }
 
+/// Replays a runtime's persistence-ordering trace through `prep-psan`'s
+/// rule engine (see that crate: publish ordering, completedTail,
+/// recovery reads, redundant flushes).
+///
+/// Returns `Err` with the full human-readable report — store → flush →
+/// fence event chains and call sites — if any rule is violated. A runtime
+/// whose tracer was never enabled has an empty trace and trivially passes;
+/// call [`prep_pmem::PmemRuntime::psan_enable`] (or set `PREP_PSAN`)
+/// before the execution under test.
+pub fn check_persistence_ordering(rt: &prep_pmem::PmemRuntime) -> Result<(), String> {
+    let violations = rt.psan_check();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(prep_pmem::psan::format_violations(&violations))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

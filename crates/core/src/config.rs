@@ -41,6 +41,19 @@ pub enum FlushStrategy {
     DirtyLines,
 }
 
+/// Deliberately seeded persistence-ordering bugs, used to validate that
+/// the `prep-psan` sanitizer catches dropped fences in the real persist
+/// paths (regression tests only — never set in production configs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsanFault {
+    /// Durable mode: skip the `SFENCE` after the batch's payload flushes,
+    /// so emptyBits publish entries whose payloads are not yet durable.
+    SkipLogPayloadFence,
+    /// Skip the `SFENCE` after a checkpoint's replica flushes, so the
+    /// `p_activePReplica` swap publishes an unfenced replica.
+    SkipCheckpointFence,
+}
+
 /// Construction parameters for [`crate::PrepUc`].
 #[derive(Debug, Clone)]
 pub struct PrepConfig {
@@ -71,6 +84,9 @@ pub struct PrepConfig {
     /// Liveness mode (§4.2): throughput-first (the paper's default) or
     /// starvation-free (fair reservation lock + phase-fair replica locks).
     pub fairness: prep_nr::FairnessMode,
+    /// Deliberately seeded ordering bug for sanitizer-validation tests
+    /// (`None` in every real configuration).
+    pub psan_fault: Option<PsanFault>,
 }
 
 impl PrepConfig {
@@ -86,7 +102,15 @@ impl PrepConfig {
             flush_strategy: FlushStrategy::Wbinvd,
             fence_per_entry: false,
             fairness: prep_nr::FairnessMode::Throughput,
+            psan_fault: None,
         }
+    }
+
+    /// Seeds a deliberate ordering bug for sanitizer-validation tests
+    /// (builder style).
+    pub fn with_psan_fault(mut self, fault: PsanFault) -> Self {
+        self.psan_fault = Some(fault);
+        self
     }
 
     /// Selects the liveness mode (builder style).

@@ -12,15 +12,58 @@ use std::sync::Arc;
 
 use crossbeam_utils::CachePadded;
 use prep_nr::NrHooks;
+use prep_pmem::psan::{PublishTag, Region};
 use prep_pmem::{LogImage, PersistentCell, PmemRuntime};
 
-use crate::config::DurabilityLevel;
+use crate::config::{DurabilityLevel, PsanFault};
+
+/// Logical NVM addresses of everything this construction persists, used by
+/// the persistence-ordering sanitizer (`prep-psan`) to give stores and
+/// flushes identity. Allocated unconditionally at construction (regions
+/// are just address-space reservations); traced only when the runtime's
+/// tracer is enabled.
+///
+/// Log addressing is by **monotonic log index**, never by recycled
+/// physical slot: entry `idx` occupies bytes `[idx·eb, (idx+1)·eb)` with
+/// its emptyBit last, where `eb = size_of::<O>() + 1` matches the packed
+/// layout `span_lines` charges for. Recycling a slot (logMin) gets a fresh
+/// logical address, so laps never alias.
+pub(crate) struct PsanLayout {
+    /// Base of the log's logical address space.
+    pub(crate) log_base: u64,
+    /// `d_completedTail`'s cell.
+    pub(crate) ct_addr: u64,
+    /// `p_activePReplica`'s cell.
+    pub(crate) p_active_addr: u64,
+    /// One region per persistent replica (the structure's logical dirty
+    /// address space maps 1:1 into it).
+    pub(crate) replicas: [Region; 2],
+}
+
+impl PsanLayout {
+    fn new(rt: &PmemRuntime) -> Self {
+        PsanLayout {
+            log_base: rt.psan_region("log", 1 << 40).base,
+            ct_addr: rt.psan_region("completedTail", 8).base,
+            p_active_addr: rt.psan_region("pActivePReplica", 8).base,
+            replicas: [
+                rt.psan_region("pReplica0", 1 << 40),
+                rt.psan_region("pReplica1", 1 << 40),
+            ],
+        }
+    }
+}
 
 /// Shared persistence state (see module docs).
 pub(crate) struct HookState<O: Clone> {
     pub(crate) rt: Arc<PmemRuntime>,
     pub(crate) durability: DurabilityLevel,
     pub(crate) fence_per_entry: bool,
+    /// Sanitizer address layout for the UC-managed persistent variables.
+    pub(crate) psan: PsanLayout,
+    /// Seeded ordering bug for sanitizer-validation tests (always `None`
+    /// outside those tests).
+    pub(crate) psan_fault: Option<PsanFault>,
     /// Monotone-except-for-helping flush boundary (Algorithm 2/4).
     pub(crate) flush_boundary: CachePadded<AtomicU64>,
     /// Volatile mirror of the persistent replicas' localTails, read by the
@@ -46,11 +89,15 @@ impl<O: Clone> HookState<O> {
         durability: DurabilityLevel,
         epsilon: u64,
         fence_per_entry: bool,
+        psan_fault: Option<PsanFault>,
     ) -> Arc<Self> {
+        let psan = PsanLayout::new(&rt);
         Arc::new(HookState {
             rt,
             durability,
             fence_per_entry,
+            psan,
+            psan_fault,
             flush_boundary: CachePadded::new(AtomicU64::new(epsilon)),
             p_tails: [
                 CachePadded::new(AtomicU64::new(0)),
@@ -75,10 +122,38 @@ impl<O: Clone> HookState<O> {
     /// Distinct cachelines spanned by entries `[from, to)` of the packed
     /// NVM log. Adjacent small entries share lines, so flushing a batch
     /// costs one `CLFLUSHOPT` per *spanned* line — not one per entry.
+    /// ([`HookState::flush_entry_span`] issues exactly this many flushes;
+    /// tests assert the arithmetic directly.)
+    #[cfg_attr(not(test), allow(dead_code))]
     #[inline]
     fn span_lines(from: u64, to: u64) -> u64 {
         let eb = Self::entry_bytes();
         ((to * eb).div_ceil(64) - (from * eb) / 64).max(1)
+    }
+
+    /// Logical NVM address of entry `idx`'s first payload byte.
+    #[inline]
+    fn payload_addr(&self, idx: u64) -> u64 {
+        self.psan.log_base + idx * Self::entry_bytes()
+    }
+
+    /// Logical NVM address of entry `idx`'s emptyBit (its last byte).
+    #[inline]
+    fn empty_bit_addr(&self, idx: u64) -> u64 {
+        self.psan.log_base + (idx + 1) * Self::entry_bytes() - 1
+    }
+
+    /// Asynchronously flushes each distinct cacheline spanned by entries
+    /// `[from, to)` — exactly [`HookState::span_lines`] many `CLFLUSHOPT`s
+    /// (the log region base is line-aligned), each carrying its line
+    /// address for the sanitizer.
+    fn flush_entry_span(&self, from: u64, to: u64, site: &'static str) {
+        let eb = Self::entry_bytes();
+        let first = (self.psan.log_base + from * eb) / 64;
+        let last = (self.psan.log_base + to * eb).div_ceil(64).max(first + 1);
+        for line in first..last {
+            self.rt.clflushopt_at(line * 64, site);
+        }
     }
 }
 
@@ -115,18 +190,28 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         // share lines. (The fence-per-entry ablation quantifies what the
         // batching saves; an intervening fence re-dirties shared boundary
         // lines, so there each entry flushes its own span.)
-        if self.state.fence_per_entry {
+        const SITE: &str = "PrepHooks::persist_batch_payload";
+        let st = &self.state;
+        let eb = HookState::<O>::entry_bytes();
+        let skip_fence = st.psan_fault == Some(PsanFault::SkipLogPayloadFence);
+        if st.fence_per_entry {
             for idx in range {
-                for _ in 0..HookState::<O>::span_lines(idx, idx + 1) {
-                    self.state.rt.clflushopt();
+                st.rt.trace_store(st.payload_addr(idx), eb - 1, SITE);
+                st.flush_entry_span(idx, idx + 1, SITE);
+                if !skip_fence {
+                    st.rt.sfence();
                 }
-                self.state.rt.sfence();
             }
         } else {
-            for _ in 0..HookState::<O>::span_lines(range.start, range.end) {
-                self.state.rt.clflushopt();
+            st.rt.trace_store(
+                st.payload_addr(range.start),
+                (range.end - range.start) * eb,
+                SITE,
+            );
+            st.flush_entry_span(range.start, range.end, SITE);
+            if !skip_fence {
+                st.rt.sfence();
             }
-            self.state.rt.sfence();
         }
     }
 
@@ -136,15 +221,36 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         }
         // Flush the emptyBit lines and fence again; only after this fence
         // are the entries recoverable, so this is where they enter the
-        // crash-store image.
-        for _ in range.clone() {
-            self.state.rt.clflushopt();
+        // crash-store image. The emptyBit stores themselves (the publish
+        // CASes) happened in the combiner's publish loop just before this
+        // hook, on this same thread.
+        const SITE: &str = "PrepHooks::persist_batch_published";
+        let st = &self.state;
+        let eb = HookState::<O>::entry_bytes();
+        for idx in range.clone() {
+            st.rt.trace_publish(
+                st.empty_bit_addr(idx),
+                1,
+                &[(st.payload_addr(idx), eb - 1)],
+                PublishTag::LogEntry,
+                SITE,
+            );
         }
-        self.state.rt.sfence();
+        // Flush each *distinct* emptyBit line once. Flushing per entry (as
+        // this used to) re-flushes a line for every further emptyBit on it
+        // with no intervening store — the sanitizer's redundant-flush lint
+        // flagged exactly that, and for small ops it is ~7× the flushes.
+        let mut last_line = u64::MAX;
+        for idx in range.clone() {
+            let line = st.empty_bit_addr(idx) / 64;
+            if line != last_line {
+                st.rt.clflushopt_at(line * 64, SITE);
+                last_line = line;
+            }
+        }
+        st.rt.sfence();
         for (k, idx) in range.enumerate() {
-            self.state
-                .log_image
-                .persist_entry(&self.state.rt, idx, ops[k].clone());
+            st.log_image.persist_entry(&st.rt, idx, ops[k].clone());
         }
     }
 
@@ -159,9 +265,20 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         if self.state.persisted_ct.load(Ordering::Acquire) >= ct {
             return;
         }
-        self.state.rt.clflush();
-        self.state.ct_cell.record_max(&self.state.rt, ct);
-        self.state.persisted_ct.fetch_max(ct, Ordering::AcqRel);
+        // Store + CLFLUSH as one atomic persist: `completedTail` publishes
+        // every log byte below it, and a separate store/flush pair would
+        // make a crash cut falling between the two look like a stale value
+        // the sanitizer cannot tell from a real race.
+        let st = &self.state;
+        st.rt.publish_clflush(
+            st.psan.ct_addr,
+            std::mem::size_of::<u64>() as u64,
+            &[(st.psan.log_base, ct * HookState::<O>::entry_bytes())],
+            PublishTag::CompletedTail,
+            "PrepHooks::ensure_completed_tail_durable",
+        );
+        st.ct_cell.record_max(&st.rt, ct);
+        st.persisted_ct.fetch_max(ct, Ordering::AcqRel);
     }
 
     fn persistent_tails(&self) -> Vec<u64> {
@@ -201,7 +318,7 @@ mod tests {
 
     fn mk(durability: DurabilityLevel) -> PrepHooks<u64> {
         PrepHooks {
-            state: HookState::new(PmemRuntime::for_crash_tests(), durability, 16, false),
+            state: HookState::new(PmemRuntime::for_crash_tests(), durability, 16, false, None),
         }
     }
 
@@ -213,6 +330,7 @@ mod tests {
                 DurabilityLevel::Durable,
                 16,
                 true,
+                None,
             ),
         };
         h.persist_batch_payload(0..4, &[1, 2, 3, 4]);

@@ -59,7 +59,7 @@
 //! prescribe.
 
 #![warn(missing_docs)]
-#![deny(unsafe_op_in_unsafe_fn)]
+#![forbid(unsafe_code)]
 
 mod config;
 mod hooks;
@@ -67,7 +67,7 @@ mod persistence;
 mod puc;
 mod recovery;
 
-pub use config::{DurabilityLevel, FlushStrategy, PrepConfig};
+pub use config::{DurabilityLevel, FlushStrategy, PrepConfig, PsanFault};
 pub use hooks::PrepHooks;
 pub use puc::{PrepUc, PrepVolatile};
 pub use recovery::CrashImage;

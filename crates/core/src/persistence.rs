@@ -14,7 +14,9 @@ use prep_pmem::ReplicaImage;
 use prep_seqds::SequentialObject;
 use prep_sync::Waiter;
 
-use crate::config::{DurabilityLevel, FlushStrategy};
+use prep_pmem::psan::PublishTag;
+
+use crate::config::{DurabilityLevel, FlushStrategy, PsanFault};
 use crate::hooks::HookState;
 use crate::puc::NrInner;
 
@@ -79,10 +81,11 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 let ds = &mut rep.ds;
                 let pending = &mut rep.pending;
                 let swap = self.allocator_swap;
+                let region_base = self.state.psan.replicas[active].base;
                 self.nr.log().for_each_op(rep.local_tail, tail, |_, op| {
                     // Stores to the NVM-resident replica are slower than
                     // DRAM stores; charge them.
-                    rt.nvm_write(op_bytes);
+                    rt.nvm_write(region_base, op_bytes);
                     if buffer_delta {
                         pending.push(op.clone());
                     }
@@ -125,25 +128,52 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // flush (the §6 alternative for tiny structures), or — the
                 // incremental path — one CLFLUSHOPT per distinct line
                 // dirtied since this replica's last checkpoint.
+                const SITE: &str = "PersistenceTask::checkpoint";
+                let region = self.state.psan.replicas[active];
                 let full_bytes = rep.ds.approx_bytes();
                 let flushed_bytes = match self.flush_strategy {
                     FlushStrategy::Wbinvd => {
+                        rt.trace_store(region.base, full_bytes, SITE);
                         rt.wbinvd(full_bytes);
                         full_bytes
                     }
                     FlushStrategy::RangeFlush => {
-                        rt.flush_range(full_bytes);
+                        rt.trace_store(region.base, full_bytes, SITE);
+                        rt.flush_range(region.base, full_bytes, SITE);
                         full_bytes
                     }
                     FlushStrategy::DirtyLines => {
                         let dirty = rep.ds.dirty_bytes_since_checkpoint();
                         if dirty > 0 {
-                            rt.flush_range(dirty);
+                            // With the sanitizer on and precise lines
+                            // available, give each flushed line its exact
+                            // address in the replica's logical space; the
+                            // cost and stats are identical to the batched
+                            // range flush (one CLFLUSHOPT per line).
+                            let lines = if rt.psan_enabled() {
+                                rep.ds.dirty_lines_since_checkpoint()
+                            } else {
+                                None
+                            };
+                            match lines {
+                                Some(lines) => {
+                                    for off in lines {
+                                        rt.trace_store(region.base + off, 64, SITE);
+                                        rt.clflushopt_at(region.base + off, SITE);
+                                    }
+                                }
+                                None => {
+                                    rt.trace_store(region.base, dirty, SITE);
+                                    rt.flush_range(region.base, dirty, SITE);
+                                }
+                            }
                         }
                         dirty
                     }
                 };
-                rt.sfence();
+                if self.state.psan_fault != Some(PsanFault::SkipCheckpointFence) {
+                    rt.sfence();
+                }
                 rt.count_checkpoint(flushed_bytes);
                 if rt.crash_sim_enabled() {
                     if dirty_lines {
@@ -182,7 +212,18 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // replica against a window sized for the new one).
                 let new_active = 1 - active as u64;
                 self.state.p_active.store(new_active, Ordering::Release);
-                self.state.p_active_cell.persist_clflush(&rt, new_active);
+                // Store + CLFLUSH as one atomic persist. The selector is a
+                // *publish*: once durable, recovery trusts the checkpoint
+                // it names, so every byte of the just-checkpointed replica
+                // must already be durable.
+                rt.publish_clflush(
+                    self.state.psan.p_active_addr,
+                    std::mem::size_of::<u64>() as u64,
+                    &[(region.base, region.len)],
+                    PublishTag::CheckpointMarker,
+                    "PersistenceTask::swap",
+                );
+                self.state.p_active_cell.record(&rt, new_active);
                 // Advance the boundary to exactly ε past what was just
                 // persisted. This is the invariant the ε + β − 1 loss bound
                 // rests on: `flushBoundary ≤ stableTail + ε` at all times,

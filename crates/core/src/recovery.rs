@@ -84,7 +84,7 @@ impl<T: SequentialObject> PrepUc<T> {
     /// consistent cut of the persist order.
     pub fn crash_image_in_cut(&self) -> CrashImage<T> {
         let state = self.hook_state();
-        CrashImage {
+        let image = CrashImage {
             active: state.p_active_cell.read_image(),
             replicas: [
                 self.replica_image(0).read_image(),
@@ -92,7 +92,33 @@ impl<T: SequentialObject> PrepUc<T> {
             ],
             completed_tail: state.ct_cell.read_image(),
             log_entries: state.log_image.persisted_range(0, u64::MAX),
+        };
+        // Tell the sanitizer what recovery relies on from this cut: the
+        // selector, the stable replica it names, and (durable mode) the
+        // completedTail cell plus the log entries recovery will replay
+        // onto the stable snapshot. Rule 3 then verifies all of it was
+        // durable at the cut.
+        let rt = self.runtime();
+        if rt.psan_enabled() {
+            const SITE: &str = "PrepUc::crash_image_in_cut";
+            let cell = std::mem::size_of::<u64>() as u64;
+            rt.trace_recovery_read(state.psan.p_active_addr, cell, SITE);
+            let stable = image.stable_index();
+            if let Ok(snap) = &image.replicas[stable] {
+                let region = state.psan.replicas[stable];
+                rt.trace_recovery_read(region.base, region.len, SITE);
+                if self.config().durability == DurabilityLevel::Durable {
+                    rt.trace_recovery_read(state.psan.ct_addr, cell, SITE);
+                    let eb = std::mem::size_of::<T::Op>() as u64 + 1;
+                    let from = snap.local_tail * eb;
+                    let to = image.completed_tail * eb;
+                    if to > from {
+                        rt.trace_recovery_read(state.psan.log_base + from, to - from, SITE);
+                    }
+                }
+            }
         }
+        image
     }
 
     /// The recovery procedure (§5.1 buffered, §5.2 durable): rebuilds a

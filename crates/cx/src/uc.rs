@@ -51,6 +51,9 @@ struct CxReplica<T: SequentialObject> {
     /// The object plus how many queue positions it has applied. Both live
     /// under the strong try lock.
     state: StrongTryRwLock<ReplicaState<T>>,
+    /// Logical NVM address range this replica occupies (sanitizer identity;
+    /// allocated only when persistence is on).
+    psan_region: Option<prep_pmem::psan::Region>,
 }
 
 struct ReplicaState<T> {
@@ -84,6 +87,10 @@ impl<T: SequentialObject> CxUc<T> {
                     ds: obj.clone_object(),
                     applied: 0,
                 }),
+                psan_region: config
+                    .persistence
+                    .as_ref()
+                    .map(|rt| rt.psan_region("cxReplica", 1 << 40)),
             })
             .collect();
         CxUc {
@@ -143,7 +150,14 @@ impl<T: SequentialObject> CxUc<T> {
                 // 3. CX-PUC: persist the *entire* replica before the ops it
                 //    just absorbed may complete.
                 if let Some(rt) = &self.persistence {
-                    rt.flush_range(guard.ds.approx_bytes());
+                    const SITE: &str = "CxUc::execute_update";
+                    let bytes = guard.ds.approx_bytes();
+                    let region = self.replicas[i].psan_region.expect("region set with rt");
+                    // Replay mutated the replica (a zero-op replay still
+                    // rewrites `applied`), so record the store before the
+                    // whole-replica flush.
+                    rt.trace_store(region.base, bytes.max(1), SITE);
+                    rt.flush_range(region.base, bytes, SITE);
                     rt.sfence();
                 }
                 let applied = guard.applied;

@@ -44,3 +44,8 @@ pub use latency::LatencyModel;
 pub use namespace::PersistentDirectory;
 pub use runtime::{CrashToken, PmemRuntime};
 pub use stats::{PmemStats, PmemStatsSnapshot};
+
+/// The persistence-ordering sanitizer layered under this runtime (event
+/// model, rule engine, crash-point bisection). Re-exported so sanitizer
+/// consumers need not depend on `prep-psan` directly.
+pub use prep_psan as psan;

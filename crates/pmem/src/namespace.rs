@@ -13,14 +13,25 @@
 //! [`PersistentDirectory::scope`] prefixes a namespace.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+use prep_psan::Region;
 
 use crate::runtime::PmemRuntime;
+
+/// Sanitizer address space per directory: 16 Ki roots × one line each
+/// (ordinals wrap beyond that — identity degrades, never overflows).
+const DIRECTORY_REGION_BYTES: u64 = 1 << 20;
 
 /// A persisted `name → u64` namespace sharing the runtime's crash image.
 #[derive(Debug, Default)]
 pub struct PersistentDirectory {
     image: Mutex<BTreeMap<String, u64>>,
+    /// Sanitizer identity: one logical NVM line per root, inside a region
+    /// allocated lazily from the first runtime this directory persists
+    /// through.
+    region: OnceLock<Region>,
+    ordinals: Mutex<BTreeMap<String, u64>>,
 }
 
 impl PersistentDirectory {
@@ -50,10 +61,27 @@ impl PersistentDirectory {
             .insert(name.to_owned(), value);
     }
 
-    /// Convenience: `CLFLUSH` + record — the pattern for rarely-written
-    /// metadata roots (shard counts, epochs, format versions).
+    /// The stable logical NVM address of `name`'s line (one line per root
+    /// so directory entries never share a cacheline).
+    fn addr_for(&self, rt: &PmemRuntime, name: &str) -> u64 {
+        let region = self
+            .region
+            .get_or_init(|| rt.psan_region("directory", DIRECTORY_REGION_BYTES));
+        let mut ordinals = self.ordinals.lock().expect("directory poisoned");
+        let next = ordinals.len() as u64;
+        let ordinal = *ordinals.entry(name.to_owned()).or_insert(next);
+        region.base + (ordinal * 64) % region.len
+    }
+
+    /// Convenience: store + `CLFLUSH` as one atomic persist — the pattern
+    /// for rarely-written metadata roots (shard counts, epochs, format
+    /// versions). The root's bytes are durable when this returns.
     pub fn persist_clflush(&self, rt: &PmemRuntime, name: &str, value: u64) {
-        rt.clflush();
+        rt.persist_clflush_at(
+            self.addr_for(rt, name),
+            std::mem::size_of::<u64>() as u64,
+            "PersistentDirectory::persist_clflush",
+        );
         self.record(rt, name, value);
     }
 
@@ -71,6 +99,24 @@ impl PersistentDirectory {
     /// directory in a crash image.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
         self.image.lock().expect("directory poisoned").clone()
+    }
+
+    /// [`PersistentDirectory::snapshot`] plus sanitizer recovery-read
+    /// events for every root the snapshot hands to recovery — call inside
+    /// a frozen cut when the snapshot's purpose *is* crash recovery, so
+    /// the sanitizer can verify each root was durable at the cut.
+    pub fn snapshot_for_recovery(&self, rt: &PmemRuntime) -> BTreeMap<String, u64> {
+        let snap = self.snapshot();
+        if rt.psan_enabled() {
+            for name in snap.keys() {
+                rt.trace_recovery_read(
+                    self.addr_for(rt, name),
+                    std::mem::size_of::<u64>() as u64,
+                    "PersistentDirectory::snapshot_for_recovery",
+                );
+            }
+        }
+        snap
     }
 
     /// Number of persisted roots.

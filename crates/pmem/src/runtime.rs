@@ -4,6 +4,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard};
 
+use prep_psan::{EventKind, PublishTag, Region, Tracer, Violation};
+
 use crate::latency::{charge_ns, LatencyModel};
 use crate::stats::PmemStats;
 
@@ -42,17 +44,33 @@ pub struct PmemRuntime {
     /// consistent cut of the persist order.
     cut_lock: RwLock<()>,
     crashes: AtomicU64,
+    /// Persistence-ordering sanitizer trace (see `prep-psan`). Disabled by
+    /// default: the whole tracing surface then costs one relaxed atomic
+    /// load per persist call.
+    tracer: Tracer,
+    /// When set (via `PREP_PSAN`), every captured crash cut and every
+    /// recovery replays the trace through the rule engine and panics on
+    /// violations, so the existing crash/proptest suite doubles as a
+    /// sanitizer corpus.
+    psan_panic: bool,
 }
 
 impl PmemRuntime {
     /// Creates a runtime with the given cost model and crash-sim switch.
     pub fn new(latency: LatencyModel, crash_sim: bool) -> Arc<Self> {
+        let tracer = Tracer::new();
+        let psan_panic = prep_psan::env_enabled();
+        if psan_panic {
+            tracer.enable();
+        }
         Arc::new(PmemRuntime {
             latency,
             stats: PmemStats::new(),
             crash_sim,
             cut_lock: RwLock::new(()),
             crashes: AtomicU64::new(0),
+            tracer,
+            psan_panic,
         })
     }
 
@@ -104,6 +122,7 @@ impl PmemRuntime {
         let pending = PENDING_FLUSHES.with(|p| p.replace(0));
         charge_ns(self.latency.sfence_ns + pending * self.latency.sfence_per_pending_ns);
         self.stats.count_sfence();
+        self.tracer.record(EventKind::Fence, "PmemRuntime::sfence");
     }
 
     /// Emulates `WBINVD` over `dirty_bytes` of modelled dirty footprint
@@ -112,19 +131,25 @@ impl PmemRuntime {
     pub fn wbinvd(&self, dirty_bytes: u64) {
         charge_ns(self.latency.wbinvd_cost_ns(dirty_bytes));
         self.stats.count_wbinvd();
+        self.tracer.record(EventKind::Wbinvd, "PmemRuntime::wbinvd");
     }
 
-    /// Emulates flushing a `bytes`-long address range with asynchronous
-    /// line flushes (the CX-PUC whole-replica persist, and PREP's
-    /// range-flush alternative to WBINVD from §6). Counts one `CLFLUSHOPT`
-    /// per line; the cost is charged in one batch. Durability still
-    /// requires a following [`PmemRuntime::sfence`].
+    /// Emulates flushing the `bytes`-long address range starting at the
+    /// logical NVM address `addr` with asynchronous line flushes (the
+    /// CX-PUC whole-replica persist, and PREP's range-flush alternative to
+    /// WBINVD from §6). Counts one `CLFLUSHOPT` per line; the cost is
+    /// charged in one batch. Durability still requires a following
+    /// [`PmemRuntime::sfence`]. `addr` comes from a
+    /// [`PmemRuntime::psan_region`] allocation and gives the flush real
+    /// identity for the ordering sanitizer.
     #[inline]
-    pub fn flush_range(&self, bytes: u64) {
+    pub fn flush_range(&self, addr: u64, bytes: u64, site: &'static str) {
         let lines = bytes.div_ceil(64).max(1);
         charge_ns(lines * self.latency.clflushopt_ns);
         self.stats.count_clflushopt_n(lines);
         PENDING_FLUSHES.with(|p| p.set(p.get() + lines));
+        self.tracer
+            .record(EventKind::FlushRange { addr, len: bytes }, site);
     }
 
     /// Records checkpoint accounting: one replica checkpoint that wrote
@@ -135,13 +160,20 @@ impl PmemRuntime {
     #[inline]
     pub fn count_checkpoint(&self, bytes: u64) {
         self.stats.count_checkpoint(bytes);
+        self.tracer
+            .record(EventKind::Epoch, "PmemRuntime::count_checkpoint");
     }
 
-    /// Charges the extra write latency for `bytes` of stores that target
-    /// NVM (used when the persistence thread replays operations onto a
-    /// persistent replica).
+    /// Charges the extra write latency for `bytes` of stores at logical
+    /// NVM address `addr` (used when the persistence thread replays
+    /// operations onto a persistent replica). Cost-only: replica stores
+    /// are traced for the sanitizer at checkpoint granularity (the dirty
+    /// set the checkpoint flushes), not per replayed operation — per-op
+    /// store events would claim lines dirty that the checkpoint's precise
+    /// dirty-line trace re-states anyway.
     #[inline]
-    pub fn nvm_write(&self, bytes: u64) {
+    pub fn nvm_write(&self, addr: u64, bytes: u64) {
+        let _ = addr;
         if self.latency.nvm_write_ns == 0 {
             return;
         }
@@ -153,6 +185,180 @@ impl PmemRuntime {
     /// fence (test/diagnostic hook).
     pub fn pending_flushes() -> u64 {
         PENDING_FLUSHES.with(|p| p.get())
+    }
+
+    // --- persistence-ordering sanitizer surface (see `prep-psan`) -------
+
+    /// Emulates an asynchronous `CLFLUSHOPT` of the line containing the
+    /// logical NVM address `addr`. Identical cost and stats to
+    /// [`PmemRuntime::clflushopt`]; additionally gives the flush address
+    /// identity for the sanitizer.
+    #[inline]
+    pub fn clflushopt_at(&self, addr: u64, site: &'static str) {
+        charge_ns(self.latency.clflushopt_ns);
+        self.stats.count_clflushopt();
+        PENDING_FLUSHES.with(|p| p.set(p.get() + 1));
+        self.tracer
+            .record(EventKind::FlushLine { addr, sync: false }, site);
+    }
+
+    /// A store of `len` bytes at logical address `addr` followed by a
+    /// synchronous `CLFLUSH` of its line, issued as one atomic persist
+    /// (the pattern for rarely-written metadata cells: the bytes are
+    /// durable when this returns). Identical cost and stats to one
+    /// [`PmemRuntime::clflush`].
+    #[inline]
+    pub fn persist_clflush_at(&self, addr: u64, len: u64, site: &'static str) {
+        charge_ns(self.latency.clflush_ns);
+        self.stats.count_clflush();
+        self.tracer.record(
+            EventKind::Store {
+                addr,
+                len,
+                durable: true,
+            },
+            site,
+        );
+    }
+
+    /// A *publish* store of `len` bytes at `addr` plus its synchronous
+    /// `CLFLUSH`, as one atomic persist: once durable it makes the `deps`
+    /// byte ranges reachable by recovery, so the sanitizer requires every
+    /// dep byte to be durable *before* this call. Identical cost and stats
+    /// to one [`PmemRuntime::clflush`].
+    #[inline]
+    pub fn publish_clflush(
+        &self,
+        addr: u64,
+        len: u64,
+        deps: &[(u64, u64)],
+        tag: PublishTag,
+        site: &'static str,
+    ) {
+        charge_ns(self.latency.clflush_ns);
+        self.stats.count_clflush();
+        if self.tracer.enabled() {
+            self.tracer.record(
+                EventKind::Publish {
+                    addr,
+                    len,
+                    deps: deps.to_vec(),
+                    tag,
+                    durable: true,
+                },
+                site,
+            );
+        }
+    }
+
+    /// Records a plain store to `[addr, addr+len)` (no cost — volatile
+    /// store timing is not modelled; this only informs the sanitizer that
+    /// the bytes are dirty until flushed and fenced).
+    #[inline]
+    pub fn trace_store(&self, addr: u64, len: u64, site: &'static str) {
+        self.tracer.record(
+            EventKind::Store {
+                addr,
+                len,
+                durable: false,
+            },
+            site,
+        );
+    }
+
+    /// Records a publish store (e.g. a log entry's emptyBit) whose
+    /// durability is still governed by a later flush + fence. The `deps`
+    /// byte ranges must already be durable when the store is issued.
+    #[inline]
+    pub fn trace_publish(
+        &self,
+        addr: u64,
+        len: u64,
+        deps: &[(u64, u64)],
+        tag: PublishTag,
+        site: &'static str,
+    ) {
+        if self.tracer.enabled() {
+            self.tracer.record(
+                EventKind::Publish {
+                    addr,
+                    len,
+                    deps: deps.to_vec(),
+                    tag,
+                    durable: false,
+                },
+                site,
+            );
+        }
+    }
+
+    /// Records that recovery (for the most recent captured cut) reads
+    /// `[addr, addr+len)`. The sanitizer checks the bytes were durable at
+    /// that cut.
+    #[inline]
+    pub fn trace_recovery_read(&self, addr: u64, len: u64, site: &'static str) {
+        if self.tracer.enabled() {
+            let cut = self.tracer.last_cut();
+            self.tracer
+                .record(EventKind::RecoveryRead { addr, len, cut }, site);
+        }
+    }
+
+    /// Allocates a disjoint logical NVM address region for sanitizer
+    /// identity (valid whether or not tracing is enabled, so construction
+    /// paths can allocate unconditionally).
+    pub fn psan_region(&self, label: &'static str, len: u64) -> Region {
+        self.tracer.alloc_region(label, len)
+    }
+
+    /// Switches the sanitizer tracer on for this runtime (idempotent; also
+    /// done at construction when `PREP_PSAN` is set, in which case crash
+    /// cuts and recoveries additionally panic on violations).
+    pub fn psan_enable(&self) {
+        self.tracer.enable();
+    }
+
+    /// Whether the sanitizer tracer is recording.
+    pub fn psan_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Replays the trace through the rule engine and returns violations.
+    pub fn psan_check(&self) -> Vec<Violation> {
+        self.tracer.check()
+    }
+
+    /// The raw event trace (diagnostics and overhead reporting).
+    pub fn psan_events(&self) -> Vec<prep_psan::Event> {
+        self.tracer.events()
+    }
+
+    /// Number of traced events so far.
+    pub fn psan_event_count(&self) -> usize {
+        self.tracer.len()
+    }
+
+    /// Panics with a full report if the trace violates any ordering rule.
+    pub fn psan_assert_clean(&self) {
+        let violations = self.tracer.check();
+        assert!(
+            violations.is_empty(),
+            "{}",
+            prep_psan::format_violations(&violations)
+        );
+    }
+
+    /// Enforcement hook for crash/recovery paths: when running under
+    /// `PREP_PSAN`, checks the trace and panics on violations; otherwise a
+    /// no-op (programmatic [`PmemRuntime::psan_enable`] users inspect
+    /// [`PmemRuntime::psan_check`] themselves).
+    pub fn psan_enforce(&self) {
+        if self.psan_panic && self.tracer.enabled() {
+            let violations = self.tracer.check();
+            if !violations.is_empty() {
+                panic!("{}", prep_psan::format_violations(&violations));
+            }
+        }
     }
 
     /// Enters a persist effect: returns a guard that must be held while
@@ -179,9 +385,18 @@ impl PmemRuntime {
             self.crash_sim,
             "capture_cut requires a crash-sim runtime (PmemRuntime::for_crash_tests)"
         );
-        let _w = self.cut_lock.write().expect("cut lock poisoned");
-        let out = capture();
         let id = self.crashes.fetch_add(1, Ordering::Relaxed) + 1;
+        let out = {
+            let _w = self.cut_lock.write().expect("cut lock poisoned");
+            // Recorded under the write lock: every persist effect ordered
+            // before the cut is already in the trace, everything after
+            // comes later — the trace sees the same consistent cut the
+            // crash store does.
+            self.tracer
+                .record(EventKind::CrashCut { id }, "PmemRuntime::capture_cut");
+            capture()
+        };
+        self.psan_enforce();
         (CrashToken { crash_id: id }, out)
     }
 

@@ -1,0 +1,393 @@
+//! Event model and the per-runtime tracer.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The cacheline size the flush model uses (matches `prep_seqds::CACHE_LINE`).
+pub const CACHE_LINE: u64 = 64;
+
+/// What a publish store announces, used to specialize rule reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishTag {
+    /// A log entry's emptyBit: publishes the entry's payload bytes.
+    LogEntry,
+    /// `completedTail`: publishes every log byte below the new tail.
+    CompletedTail,
+    /// `p_activePReplica`: publishes the just-checkpointed replica region.
+    CheckpointMarker,
+    /// Anything else.
+    Other,
+}
+
+impl std::fmt::Display for PublishTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PublishTag::LogEntry => "emptyBit",
+            PublishTag::CompletedTail => "completedTail",
+            PublishTag::CheckpointMarker => "checkpoint marker",
+            PublishTag::Other => "publish",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced persistence action. `addr`/`len` are logical NVM addresses
+/// (see [`Region`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A store of `len` bytes at `addr`. `durable` marks a synchronous
+    /// store+`CLFLUSH` pair issued as one atomic persist (the pattern for
+    /// rarely written metadata cells); such a store is durable on issue.
+    Store {
+        /// Logical start address.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Durable immediately (store+CLFLUSH issued atomically).
+        durable: bool,
+    },
+    /// A *publish* store: once durable, it makes the `deps` byte ranges
+    /// semantically reachable by recovery, so they must be durable before
+    /// this store is even issued (rule 1).
+    Publish {
+        /// Logical start address of the publish store.
+        addr: u64,
+        /// Length of the publish store in bytes.
+        len: u64,
+        /// Byte ranges `(addr, len)` this store publishes.
+        deps: Vec<(u64, u64)>,
+        /// What kind of publish this is.
+        tag: PublishTag,
+        /// Durable immediately (publish+CLFLUSH issued atomically).
+        durable: bool,
+    },
+    /// A flush of the line containing `addr`. `sync` distinguishes
+    /// `CLFLUSH` (durable on completion) from `CLFLUSHOPT`/`CLWB`
+    /// (durable only after the issuing thread's next fence).
+    FlushLine {
+        /// Any byte address within the flushed line.
+        addr: u64,
+        /// True for `CLFLUSH`, false for `CLFLUSHOPT`.
+        sync: bool,
+    },
+    /// An asynchronous flush of every line overlapping `[addr, addr+len)`.
+    FlushRange {
+        /// Logical start address.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// An `SFENCE`: all async flushes previously issued **by this event's
+    /// thread** become durable.
+    Fence,
+    /// `WBINVD`: every dirty line in the system becomes durable.
+    Wbinvd,
+    /// A checkpoint/epoch boundary (resets the redundant-flush lint).
+    Epoch,
+    /// A crash cut: the durability state at this instant is what recovery
+    /// with matching `cut` id may rely on.
+    CrashCut {
+        /// 1-based crash id, matching `CrashToken::crash_id`.
+        id: u64,
+    },
+    /// Recovery (for crash `cut`) reads `[addr, addr+len)`.
+    RecoveryRead {
+        /// Logical start address.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+        /// The crash cut this read recovers from.
+        cut: u64,
+    },
+}
+
+/// A traced event: kind plus global sequence, issuing thread, and the
+/// responsible call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Position in the global trace order (0-based).
+    pub seq: u64,
+    /// Issuing thread (tracer-assigned dense id; fences are per-thread).
+    pub thread: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The responsible call site (static label, e.g.
+    /// `"hooks::persist_batch_payload"`).
+    pub site: &'static str,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{:<5} t{} ", self.seq, self.thread)?;
+        match &self.kind {
+            EventKind::Store { addr, len, durable } => {
+                write!(
+                    f,
+                    "store{} [{addr:#x}, +{len})",
+                    if *durable { "+clflush" } else { "" }
+                )?;
+            }
+            EventKind::Publish {
+                addr,
+                len,
+                deps,
+                tag,
+                durable,
+            } => {
+                write!(
+                    f,
+                    "publish<{tag}>{} [{addr:#x}, +{len}) deps={deps:x?}",
+                    if *durable { "+clflush" } else { "" }
+                )?;
+            }
+            EventKind::FlushLine { addr, sync } => {
+                write!(
+                    f,
+                    "{} line {:#x}",
+                    if *sync { "clflush" } else { "clflushopt" },
+                    addr / CACHE_LINE * CACHE_LINE
+                )?;
+            }
+            EventKind::FlushRange { addr, len } => {
+                write!(f, "flush range [{addr:#x}, +{len})")?;
+            }
+            EventKind::Fence => write!(f, "sfence")?,
+            EventKind::Wbinvd => write!(f, "wbinvd")?,
+            EventKind::Epoch => write!(f, "epoch boundary")?,
+            EventKind::CrashCut { id } => write!(f, "crash cut #{id}")?,
+            EventKind::RecoveryRead { addr, len, cut } => {
+                write!(f, "recovery(cut #{cut}) reads [{addr:#x}, +{len})")?;
+            }
+        }
+        write!(f, "  @ {}", self.site)
+    }
+}
+
+/// A logical NVM region handed out by [`Tracer::alloc_region`]. Regions
+/// are disjoint and line-aligned; producers derive stable addresses inside
+/// them (a region is an *address namespace*, not storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First logical address of the region (line-aligned).
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Human-readable label for violation reports.
+    pub label: &'static str,
+}
+
+impl Region {
+    /// End address (exclusive).
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// True if `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// Labels an address with its region for human-readable reports.
+pub(crate) fn fmt_addr(regions: &[Region], addr: u64) -> String {
+    for r in regions {
+        if r.contains(addr) {
+            return format!("{}+{:#x}", r.label, addr - r.base);
+        }
+    }
+    format!("{addr:#x}")
+}
+
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|t| {
+        let mut id = t.get();
+        if id == 0 {
+            id = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            t.set(id);
+        }
+        id
+    })
+}
+
+#[derive(Debug, Default)]
+struct TracerInner {
+    events: Vec<Event>,
+    regions: Vec<Region>,
+}
+
+/// Per-runtime event collector. Disabled by default: every record call is
+/// one relaxed atomic load and an early return, so a construction paying
+/// for a tracer it never enables pays (measurably, see `prep-bench --
+/// psan`) nothing.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    inner: Mutex<TracerInner>,
+    /// Bump allocator for [`Tracer::alloc_region`]. Starts above 0 so a
+    /// zero address is never valid.
+    next_base: AtomicU64,
+    /// Id of the most recent crash cut (recovery reads attach to it).
+    last_cut: AtomicU64,
+}
+
+impl Tracer {
+    /// A disabled tracer with an empty trace.
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(TracerInner::default()),
+            next_base: AtomicU64::new(4096),
+            last_cut: AtomicU64::new(0),
+        }
+    }
+
+    /// Switches tracing on (idempotent).
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// True once [`Tracer::enable`] has been called.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Allocates a fresh logical address region (works whether or not
+    /// tracing is enabled — callers allocate unconditionally at
+    /// construction time so addresses are stable).
+    pub fn alloc_region(&self, label: &'static str, len: u64) -> Region {
+        let size = len.div_ceil(CACHE_LINE).max(1) * CACHE_LINE;
+        // Pad with one guard line so adjacent regions never share a line.
+        let base = self
+            .next_base
+            .fetch_add(size + CACHE_LINE, Ordering::Relaxed);
+        let region = Region {
+            base,
+            len: size,
+            label,
+        };
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .regions
+            .push(region);
+        region
+    }
+
+    /// Appends an event (no-op while disabled). The global order is the
+    /// order of these calls; per-thread program order is preserved, and
+    /// cross-thread order respects happens-before because producers only
+    /// record while executing the traced action.
+    #[inline]
+    pub fn record(&self, kind: EventKind, site: &'static str) {
+        if !self.enabled() {
+            return;
+        }
+        if let EventKind::CrashCut { id } = kind {
+            self.last_cut.store(id, Ordering::Release);
+        }
+        let thread = thread_id();
+        let mut inner = self.inner.lock().expect("tracer poisoned");
+        let seq = inner.events.len() as u64;
+        inner.events.push(Event {
+            seq,
+            thread,
+            kind,
+            site,
+        });
+    }
+
+    /// The most recent crash cut id (0 before any cut).
+    pub fn last_cut(&self) -> u64 {
+        self.last_cut.load(Ordering::Acquire)
+    }
+
+    /// Copies the current trace.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.lock().expect("tracer poisoned").events.clone()
+    }
+
+    /// Copies the allocated regions (for report formatting).
+    pub fn regions(&self) -> Vec<Region> {
+        self.inner.lock().expect("tracer poisoned").regions.clone()
+    }
+
+    /// Number of traced events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards the trace (regions are kept — addresses stay valid).
+    pub fn clear(&self) {
+        self.inner.lock().expect("tracer poisoned").events.clear();
+    }
+
+    /// Runs the rule engine over the current trace.
+    pub fn check(&self) -> Vec<super::Violation> {
+        let inner = self.inner.lock().expect("tracer poisoned");
+        super::check::check_trace_with_regions(&inner.events, &inner.regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.record(EventKind::Fence, "x");
+        assert!(t.is_empty());
+        t.enable();
+        t.record(EventKind::Fence, "x");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].seq, 0);
+    }
+
+    #[test]
+    fn regions_are_disjoint_line_aligned_and_labelled() {
+        let t = Tracer::new();
+        let a = t.alloc_region("a", 100);
+        let b = t.alloc_region("b", 1);
+        assert_eq!(a.base % CACHE_LINE, 0);
+        assert_eq!(b.base % CACHE_LINE, 0);
+        assert!(a.end() < b.base, "guard line between regions");
+        assert!(a.contains(a.base + 99));
+        assert!(!a.contains(b.base));
+        assert_eq!(fmt_addr(&t.regions(), b.base + 3), "b+0x3");
+    }
+
+    #[test]
+    fn crash_cut_updates_last_cut() {
+        let t = Tracer::new();
+        t.enable();
+        assert_eq!(t.last_cut(), 0);
+        t.record(EventKind::CrashCut { id: 7 }, "x");
+        assert_eq!(t.last_cut(), 7);
+    }
+
+    #[test]
+    fn threads_get_distinct_ids() {
+        let t = std::sync::Arc::new(Tracer::new());
+        t.enable();
+        t.record(EventKind::Fence, "main");
+        let t2 = std::sync::Arc::clone(&t);
+        std::thread::spawn(move || t2.record(EventKind::Fence, "other"))
+            .join()
+            .unwrap();
+        let ev = t.events();
+        assert_ne!(ev[0].thread, ev[1].thread);
+    }
+}

@@ -243,6 +243,10 @@ impl SequentialObject for HashMap {
         self.dirty.dirty_bytes(self.approx_bytes())
     }
 
+    fn dirty_lines_since_checkpoint(&self) -> Option<Vec<u64>> {
+        self.dirty.lines()
+    }
+
     fn clear_dirty(&mut self) {
         self.dirty.reset();
     }

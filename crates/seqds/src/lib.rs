@@ -100,6 +100,20 @@ pub trait SequentialObject: Clone + Send + Sync + 'static {
     /// object accrues a fresh dirty set. Default: no-op (paired with the
     /// whole-structure fallback above).
     fn clear_dirty(&mut self) {}
+
+    /// The distinct dirty cacheline start offsets (in the structure's
+    /// logical address space, sorted) accrued since the last
+    /// [`SequentialObject::clear_dirty`] — the exact line set an
+    /// incremental checkpoint flushes, used by the persistence-ordering
+    /// sanitizer to give those flushes address identity. `None` when
+    /// precise tracking is unavailable (default, or a saturated
+    /// [`DirtyTracker`]): the caller falls back to a whole-structure range
+    /// flush, consistent with [`dirty_bytes_since_checkpoint`].
+    ///
+    /// [`dirty_bytes_since_checkpoint`]: SequentialObject::dirty_bytes_since_checkpoint
+    fn dirty_lines_since_checkpoint(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// Models a cacheline in bytes — the unit `clflush`/`clflushopt` operate on.
@@ -166,6 +180,20 @@ impl DirtyTracker {
         match &self.lines {
             Some(lines) if !self.saturated => (lines.len() as u64) * CACHE_LINE,
             _ => whole_structure,
+        }
+    }
+
+    /// The distinct dirty cacheline start offsets, sorted — `None` while
+    /// off or saturated (callers fall back to a whole-structure flush,
+    /// mirroring [`DirtyTracker::dirty_bytes`]).
+    pub fn lines(&self) -> Option<Vec<u64>> {
+        match &self.lines {
+            Some(lines) if !self.saturated => {
+                let mut out: Vec<u64> = lines.iter().map(|l| l * CACHE_LINE).collect();
+                out.sort_unstable();
+                Some(out)
+            }
+            _ => None,
         }
     }
 

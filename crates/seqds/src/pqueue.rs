@@ -179,6 +179,10 @@ impl SequentialObject for PriorityQueue {
         self.dirty.dirty_bytes(self.approx_bytes())
     }
 
+    fn dirty_lines_since_checkpoint(&self) -> Option<Vec<u64>> {
+        self.dirty.lines()
+    }
+
     fn clear_dirty(&mut self) {
         self.dirty.reset();
     }

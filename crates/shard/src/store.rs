@@ -272,7 +272,7 @@ impl<T: SequentialObject> ShardedStore<T> {
             .as_ref()
             .expect("simulate_crash requires a shared runtime (ShardedStore::new)");
         runtime.capture_cut(|| ShardedCrashImage {
-            directory: self.directory.snapshot(),
+            directory: self.directory.snapshot_for_recovery(runtime),
             shards: self.shards.iter().map(|s| s.crash_image_in_cut()).collect(),
         })
     }

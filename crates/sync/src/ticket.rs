@@ -136,7 +136,7 @@ mod tests {
             lock: TicketLock,
             value: std::cell::UnsafeCell<u64>,
         }
-        // SAFETY (test): `value` is only touched while `lock` is held.
+        // SAFETY: (test) `value` is only touched while `lock` is held.
         unsafe impl Sync for Guarded {}
 
         let shared = Arc::new(Guarded {
@@ -149,8 +149,9 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..ITERS {
                         let _g = shared.lock.lock();
-                        // Non-atomic RMW made safe only by the lock; any
-                        // exclusion failure shows up as a lost increment.
+                        // SAFETY: non-atomic RMW made safe only by the
+                        // lock; any exclusion failure shows up as a lost
+                        // increment.
                         unsafe {
                             let p = shared.value.get();
                             p.write(p.read() + 1);
@@ -162,6 +163,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        // SAFETY: all writer threads have been joined.
         assert_eq!(unsafe { *shared.value.get() }, (THREADS * ITERS) as u64);
     }
 }
