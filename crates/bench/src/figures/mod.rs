@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod psan;
+pub mod readscale;
 pub mod shard;
 
 use std::sync::Arc;

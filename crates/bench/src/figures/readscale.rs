@@ -1,0 +1,136 @@
+//! Read-path scaling figure (repo extension, anchored to NR §3's
+//! distributed reader-writer lock).
+//!
+//! The paper's headline workloads are 90%-read (Fig. 1a/1b, Fig. 2,
+//! Fig. 6), so the replica read path is the throughput-critical section.
+//! This figure sweeps threads × read ratio {90%, 100%} × replica-lock
+//! implementation {centralized `RwSpinLock`, distributed `DistRwLock`} on
+//! the prefilled hashmap under volatile NR (no latency model — the lock is
+//! the only variable), and reports the distributed/centralized throughput
+//! ratio per cell. With the distributed lock, a caught-up reader touches
+//! only its own cacheline-padded slot; the centralized baseline bounces one
+//! shared line between every reader.
+//!
+//! Caveat: on a single-CPU VM the kernel timeslices the "concurrent"
+//! readers, so the centralized line never actually ping-pongs between cores
+//! and the measured gap understates real-hardware behavior (see
+//! EXPERIMENTS.md § readscale). The slow-path counter column shows how many
+//! reads missed the zero-contention fast path.
+//!
+//! Also records the sweep as `BENCH_readscale.json` in the working
+//! directory — the perf-trajectory baseline future sessions diff against.
+
+use prep_nr::FairnessMode;
+
+use crate::figures::{map_stream, thread_sweep, topology};
+use crate::report;
+use crate::targets::{run_nr_fair, CellResult};
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+const LOCKS: [(FairnessMode, &str); 2] = [
+    (FairnessMode::ThroughputCentralized, "RwSpinLock"),
+    (FairnessMode::Throughput, "DistRwLock"),
+];
+
+const READ_PCTS: [u32; 2] = [90, 100];
+
+struct Record {
+    read_pct: u32,
+    lock: &'static str,
+    threads: usize,
+    cell: CellResult,
+}
+
+/// Runs the read-scaling sweep.
+pub fn run(opts: &RunOpts) {
+    let topo = topology(opts);
+    let keys = opts.key_range(); // 1M keys at full scale (paper hashmap)
+    report::banner(
+        "Readscale",
+        "read-path scaling: threads x read ratio x replica lock \
+         (volatile NR, hashmap, latency model off)",
+    );
+
+    let mut records: Vec<Record> = Vec::new();
+    for read_pct in READ_PCTS {
+        for threads in thread_sweep(opts) {
+            for (fairness, lname) in LOCKS {
+                let cell = run_nr_fair(
+                    prefilled_hashmap(keys),
+                    topo,
+                    opts.log_size(),
+                    fairness,
+                    threads,
+                    opts.seconds,
+                    &map_stream(read_pct, keys),
+                );
+                report::row(&format!("hashmap-{read_pct}r"), lname, &cell);
+                records.push(Record {
+                    read_pct,
+                    lock: lname,
+                    threads,
+                    cell,
+                });
+            }
+        }
+    }
+
+    print_ratio_summary(&records);
+    write_json(opts, &records);
+}
+
+/// Prints, per (read ratio, threads) cell, the DistRwLock / RwSpinLock
+/// throughput ratio — the figure's headline number.
+fn print_ratio_summary(records: &[Record]) {
+    println!();
+    println!("-- DistRwLock speedup vs RwSpinLock (read throughput ratio)");
+    let mut panels: Vec<(u32, usize)> = records.iter().map(|r| (r.read_pct, r.threads)).collect();
+    panels.dedup();
+    for (read_pct, threads) in panels {
+        let per = |lock: &str| {
+            records
+                .iter()
+                .find(|r| r.read_pct == read_pct && r.threads == threads && r.lock == lock)
+                .map(|r| r.cell.m.ops_per_sec())
+        };
+        if let (Some(central), Some(dist)) = (per("RwSpinLock"), per("DistRwLock")) {
+            let ratio = if central > 0.0 {
+                dist / central
+            } else {
+                f64::INFINITY
+            };
+            println!("{read_pct:>3}% reads  {threads:>3} threads  {ratio:>8.2}x");
+        }
+    }
+}
+
+/// Hand-rolled JSON dump (no serde in the dependency closure): one object
+/// per cell, flat fields only.
+fn write_json(opts: &RunOpts, records: &[Record]) {
+    let mut out = String::from("{\n  \"bench\": \"readscale\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"seconds_per_cell\": {},\n  \"latency_model\": \"off\",\n  \"cells\": [\n",
+        if opts.full { "full" } else { "quick" },
+        opts.seconds
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"read_pct\": {}, \"lock\": \"{}\", \"threads\": {}, \
+             \"total_ops\": {}, \"ops_per_sec\": {:.0}}}{}\n",
+            r.read_pct,
+            r.lock,
+            r.threads,
+            r.cell.m.total_ops,
+            r.cell.m.ops_per_sec(),
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = "BENCH_readscale.json";
+    match std::fs::write(path, out) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

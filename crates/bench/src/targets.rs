@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use prep_cx::{CxConfig, CxUc};
-use prep_nr::{GlobalLockUc, NodeReplicated};
+use prep_nr::{FairnessMode, GlobalLockUc, NodeReplicated, NoopHooks};
 use prep_pmem::{PmemRuntime, PmemStatsSnapshot};
 use prep_seqds::SequentialObject;
 use prep_soft::SoftHashMap;
@@ -102,6 +102,35 @@ where
 {
     let asg = topo.assign_workers(threads);
     let nr = NodeReplicated::new(obj, asg, log_size);
+    let nr_ref = &nr;
+    let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
+        let token = nr_ref.register(w);
+        let mut ops = gen(w);
+        Box::new(move || {
+            nr_ref.execute(&token, ops());
+        })
+    });
+    CellResult::volatile(m)
+}
+
+/// Runs one cell against volatile NR with an explicit [`FairnessMode`] —
+/// the readscale figure's knob for sweeping replica-lock implementations
+/// (distributed vs centralized vs phase-fair).
+pub fn run_nr_fair<T, G>(
+    obj: T,
+    topo: Topology,
+    log_size: u64,
+    fairness: FairnessMode,
+    threads: usize,
+    secs: f64,
+    gen: G,
+) -> CellResult
+where
+    T: SequentialObject,
+    G: Fn(usize) -> OpStream<T::Op> + Sync,
+{
+    let asg = topo.assign_workers(threads);
+    let nr = NodeReplicated::with_hooks_and_fairness(obj, asg, log_size, NoopHooks, fairness);
     let nr_ref = &nr;
     let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
         let token = nr_ref.register(w);

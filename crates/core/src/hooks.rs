@@ -177,7 +177,7 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
             || self.state.stop.load(Ordering::Acquire)
     }
 
-    fn persist_batch_payload(&self, range: Range<u64>, _ops: &[O]) {
+    fn persist_batch_payload(&self, range: Range<u64>) {
         if self.state.durability != DurabilityLevel::Durable {
             return;
         }
@@ -215,15 +215,16 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         }
     }
 
-    fn persist_batch_published(&self, range: Range<u64>, ops: &[O]) {
+    fn persist_batch_published(&self, range: Range<u64>, op_at: &dyn Fn(u64) -> O) {
         if self.state.durability != DurabilityLevel::Durable {
             return;
         }
-        // Flush the emptyBit lines and fence again; only after this fence
-        // are the entries recoverable, so this is where they enter the
-        // crash-store image. The emptyBit stores themselves (the publish
-        // CASes) happened in the combiner's publish loop just before this
-        // hook, on this same thread.
+        // Flush the emptyBit image lines and fence again; only after this
+        // fence are the entries recoverable, so this is where they enter
+        // the crash-store image. The combiner's volatile publish loop runs
+        // *after* this hook returns (on this same thread): an entry must
+        // not become visible to other combiners — who can cover it with a
+        // durably-published completedTail — until its image is fenced.
         const SITE: &str = "PrepHooks::persist_batch_published";
         let st = &self.state;
         let eb = HookState::<O>::entry_bytes();
@@ -249,8 +250,11 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
             }
         }
         st.rt.sfence();
-        for (k, idx) in range.enumerate() {
-            st.log_image.persist_entry(&st.rt, idx, ops[k].clone());
+        // The crash image needs the op values themselves: read each entry
+        // back from the published log (the only clone of an op the durable
+        // path performs — the combiner no longer keeps a batch vector).
+        for idx in range {
+            st.log_image.persist_entry(&st.rt, idx, op_at(idx));
         }
     }
 
@@ -333,7 +337,7 @@ mod tests {
                 None,
             ),
         };
-        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
+        h.persist_batch_payload(0..4);
         assert_eq!(h.state.rt.stats().snapshot().sfence, 4);
     }
 
@@ -357,8 +361,8 @@ mod tests {
     #[test]
     fn buffered_skips_all_log_persistence() {
         let h = mk(DurabilityLevel::Buffered);
-        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
-        h.persist_batch_published(0..4, &[1, 2, 3, 4]);
+        h.persist_batch_payload(0..4);
+        h.persist_batch_published(0..4, &|i| i + 1);
         h.ensure_completed_tail_durable(4);
         let s = h.state.rt.stats().snapshot();
         assert_eq!(s.total_flushes(), 0);
@@ -370,7 +374,7 @@ mod tests {
     #[test]
     fn durable_persists_batch_with_one_fence_per_phase() {
         let h = mk(DurabilityLevel::Durable);
-        h.persist_batch_payload(0..4, &[1, 2, 3, 4]);
+        h.persist_batch_payload(0..4);
         let s = h.state.rt.stats().snapshot();
         // Four 9-byte entries (u64 payload + emptyBit) span bytes [0, 36):
         // one cacheline, so one coalesced async flush.
@@ -380,7 +384,7 @@ mod tests {
             h.state.log_image.is_empty(),
             "payload-only persistence must not make entries recoverable"
         );
-        h.persist_batch_published(0..4, &[1, 2, 3, 4]);
+        h.persist_batch_published(0..4, &|i| i + 1);
         let s = h.state.rt.stats().snapshot();
         assert_eq!(s.sfence, 2);
         assert_eq!(h.state.log_image.len(), 4);
@@ -398,7 +402,7 @@ mod tests {
         assert_eq!(HookState::<u64>::span_lines(7, 8), 2); // [63, 72) straddles
         assert_eq!(HookState::<u64>::span_lines(6, 8), 2); // [54, 72)
         let h = mk(DurabilityLevel::Durable);
-        h.persist_batch_payload(6..8, &[1, 2]);
+        h.persist_batch_payload(6..8);
         let s = h.state.rt.stats().snapshot();
         assert_eq!(s.clflushopt, 2);
         assert_eq!(s.sfence, 1);

@@ -125,6 +125,13 @@ impl<T: SequentialObject> PrepUc<T> {
         self.nr.completed_tail()
     }
 
+    /// Read-only operations that missed the zero-contention read fast path
+    /// (their replica was behind `completedTail` at invocation), summed over
+    /// replicas. Diagnostic for the distributed-lock read path.
+    pub fn read_slow_paths(&self) -> u64 {
+        self.nr.read_slow_paths()
+    }
+
     /// The construction's configuration.
     pub fn config(&self) -> &PrepConfig {
         &self.config

@@ -21,6 +21,11 @@ pub struct CxConfig {
     /// flush the **whole replica** (one async flush per live cache line +
     /// fence) after every update session. `None` → volatile CX-UC.
     pub persistence: Option<Arc<PmemRuntime>>,
+    /// Read-indicator stripes per replica lock, matching the reference CX's
+    /// per-thread read indicators: readers of the same replica land on
+    /// distinct cachelines instead of funneling through one counter.
+    /// [`CxConfig::volatile`]/[`CxConfig::persistent`] set one per thread.
+    pub reader_slots: usize,
 }
 
 impl CxConfig {
@@ -29,6 +34,7 @@ impl CxConfig {
         CxConfig {
             replicas: 2 * threads.max(1),
             persistence: None,
+            reader_slots: threads.max(1),
         }
     }
 
@@ -37,12 +43,19 @@ impl CxConfig {
         CxConfig {
             replicas: 2 * threads.max(1),
             persistence: Some(rt),
+            reader_slots: threads.max(1),
         }
     }
 
     /// Overrides the replica count (builder style).
     pub fn with_replicas(mut self, replicas: usize) -> Self {
         self.replicas = replicas.max(2);
+        self
+    }
+
+    /// Overrides the read-indicator stripe count (builder style).
+    pub fn with_reader_slots(mut self, slots: usize) -> Self {
+        self.reader_slots = slots.max(1);
         self
     }
 }
@@ -83,10 +96,13 @@ impl<T: SequentialObject> CxUc<T> {
         assert!(config.replicas >= 2, "CX needs at least two replicas");
         let replicas: Box<[CxReplica<T>]> = (0..config.replicas)
             .map(|_| CxReplica {
-                state: StrongTryRwLock::new(ReplicaState {
-                    ds: obj.clone_object(),
-                    applied: 0,
-                }),
+                state: StrongTryRwLock::with_reader_slots(
+                    ReplicaState {
+                        ds: obj.clone_object(),
+                        applied: 0,
+                    },
+                    config.reader_slots,
+                ),
                 psan_region: config
                     .persistence
                     .as_ref()

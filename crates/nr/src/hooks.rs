@@ -32,14 +32,24 @@ pub trait NrHooks<O>: Send + Sync + 'static {
     /// Called after the combiner wrote the batch payloads into entries
     /// `range` but **before** any emptyBit is set. PREP-Durable flushes
     /// every touched entry asynchronously and issues one fence (§4.1: "a
-    /// single fence is executed" per batch).
-    fn persist_batch_payload(&self, _range: Range<u64>, _ops: &[O]) {}
+    /// single fence is executed" per batch). The payloads live in the log;
+    /// the hook flushes by address, so it never needs the ops themselves.
+    fn persist_batch_payload(&self, _range: Range<u64>) {}
 
-    /// Called after the combiner set the emptyBits of `range`. PREP-Durable
-    /// flushes the emptyBit lines and fences again; only now are the
-    /// entries recoverable (an entry whose payload is durable but whose
-    /// emptyBit is not would be skipped by recovery).
-    fn persist_batch_published(&self, _range: Range<u64>, _ops: &[O]) {}
+    /// Called after the payloads of `range` are durable but **before** the
+    /// combiner sets any emptyBit. PREP-Durable persists the batch's
+    /// published state here (flush the emptyBit image lines, fence, mirror
+    /// the entries into the crash image); only then does the combiner
+    /// publish. The order is load-bearing: a volatile emptyBit lets any
+    /// combiner advance `completedTail` past the entry and durably publish
+    /// that tail — if this entry's durable image were still unfenced, a
+    /// crash would lose a covered entry (sanitizer rule 2). `op_at` reads
+    /// entry `idx ∈ range` back from the combiner's own (still
+    /// unpublished) slots — implementations that mirror ops into a crash
+    /// image clone on demand; the rest clone nothing, which is the point:
+    /// the combiner moves each op into the log exactly once instead of
+    /// keeping a second vector alive for the hooks.
+    fn persist_batch_published(&self, _range: Range<u64>, _op_at: &dyn Fn(u64) -> O) {}
 
     /// Called before a completed update's response is released to its
     /// invoking thread, with the `completedTail` value that covers it.
@@ -79,8 +89,8 @@ mod tests {
     fn noop_hooks_do_nothing_observable() {
         let h = NoopHooks;
         assert!(NrHooks::<u64>::reserve_admitted(&h, 5));
-        NrHooks::<u64>::persist_batch_payload(&h, 0..3, &[1, 2, 3]);
-        NrHooks::<u64>::persist_batch_published(&h, 0..3, &[1, 2, 3]);
+        NrHooks::<u64>::persist_batch_payload(&h, 0..3);
+        NrHooks::<u64>::persist_batch_published(&h, 0..3, &|i| i + 1);
         NrHooks::<u64>::ensure_completed_tail_durable(&h, 3);
         assert!(NrHooks::<u64>::persistent_tails(&h).is_empty());
         NrHooks::<u64>::help_persistent_straggler(&h, 0, 10);

@@ -54,12 +54,23 @@ pub const DEFAULT_LOG_SIZE: u64 = 1 << 20;
 /// readers. The paper names the two changes that buy starvation-freedom —
 /// a fair lock around reservations and a starvation-free reader-writer
 /// lock per replica — and this enum selects them.
+///
+/// The `ThroughputCentralized` variant is not a paper mode: it keeps the
+/// centralized writer-preference spin lock that predates the distributed
+/// reader-writer lock, as the ablation baseline the distributed read path
+/// is measured against (`prep-bench -- readscale`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FairnessMode {
-    /// The paper's default: CAS reservations + writer-preference replica
-    /// locks. Fastest; starvation possible under adversarial scheduling.
+    /// The paper's default: CAS reservations + NR §3's distributed
+    /// writer-preference reader-writer lock per replica (one cacheline-padded
+    /// slot per registered reader). Fastest; starvation possible under
+    /// adversarial scheduling.
     #[default]
     Throughput,
+    /// Like [`FairnessMode::Throughput`] but with the centralized
+    /// writer-preference lock ([`prep_sync::RwSpinLock`]): every reader
+    /// bounces one shared cacheline. Ablation baseline only.
+    ThroughputCentralized,
     /// Starvation-free updates and reads: FIFO ticket lock around log
     /// reservations, phase-fair reader-writer lock per replica.
     StarvationFree,

@@ -189,7 +189,7 @@ impl<O: Clone> Log<O> {
     /// # Safety
     /// `index` must be protected from reuse (the caller's replica localTail
     /// has not passed it, so the logMin protocol pins it).
-    #[cfg_attr(not(test), allow(dead_code))] // single-entry variant of for_each_op
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) unsafe fn wait_and_read(&self, index: u64) -> O {
         let mut w = Waiter::new();
         while !self.is_full(index) {
@@ -197,6 +197,19 @@ impl<O: Clone> Log<O> {
         }
         // SAFETY: is_full (acquire) synchronizes with publish (release); the
         // payload is initialized and pinned per caller contract.
+        unsafe { (*self.entry(index).op.get()).assume_init_ref().clone() }
+    }
+
+    /// Clones the (possibly still unpublished) payload at `index`.
+    ///
+    /// # Safety
+    /// The caller must own `index` via a reservation and have already
+    /// called [`Log::write_payload`] for it. Unlike [`Log::wait_and_read`]
+    /// this does not wait for the emptyBit, so it is only sound for the
+    /// reserving combiner reading its own batch back.
+    pub(crate) unsafe fn read_own_payload(&self, index: u64) -> O {
+        // SAFETY: the owner wrote the payload on this same thread; no other
+        // thread writes an owned slot.
         unsafe { (*self.entry(index).op.get()).assume_init_ref().clone() }
     }
 

@@ -1,14 +1,10 @@
 //! Per-node replicas and flat-combining batch slots.
 
 use std::cell::UnsafeCell;
-use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use crossbeam_utils::CachePadded;
-use prep_sync::{
-    PhaseFairReadGuard, PhaseFairRwLock, PhaseFairWriteGuard, RwSpinLock, RwSpinReadGuard,
-    RwSpinWriteGuard, TryLock,
-};
+use prep_sync::{DistRwLock, PhaseFairRwLock, ReaderId, ReplicaLock, RwSpinLock, TryLock};
 
 use crate::FairnessMode;
 
@@ -47,86 +43,17 @@ impl<O, R> BatchSlot<O, R> {
     }
 }
 
-/// The replica's reader-writer lock, selected by [`FairnessMode`] (§4.2:
-/// the starvation-free variant swaps in a starvation-free reader-writer
-/// lock so a stream of combiners cannot starve readers).
-// One instance per NUMA node: the size difference between lock
-// implementations is irrelevant at that count.
-#[allow(clippy::large_enum_variant)]
-pub(crate) enum ReplicaRwLock<T> {
-    WriterPref(RwSpinLock<T>),
-    PhaseFair(PhaseFairRwLock<T>),
-}
-
-pub(crate) enum ReplicaReadGuard<'a, T> {
-    WriterPref(RwSpinReadGuard<'a, T>),
-    PhaseFair(PhaseFairReadGuard<'a, T>),
-}
-
-pub(crate) enum ReplicaWriteGuard<'a, T> {
-    WriterPref(RwSpinWriteGuard<'a, T>),
-    PhaseFair(PhaseFairWriteGuard<'a, T>),
-}
-
-impl<T> ReplicaRwLock<T> {
-    fn new(ds: T, fairness: FairnessMode) -> Self {
-        match fairness {
-            FairnessMode::Throughput => ReplicaRwLock::WriterPref(RwSpinLock::new(ds)),
-            FairnessMode::StarvationFree => ReplicaRwLock::PhaseFair(PhaseFairRwLock::new(ds)),
-        }
-    }
-
-    pub(crate) fn read(&self) -> ReplicaReadGuard<'_, T> {
-        match self {
-            ReplicaRwLock::WriterPref(l) => ReplicaReadGuard::WriterPref(l.read()),
-            ReplicaRwLock::PhaseFair(l) => ReplicaReadGuard::PhaseFair(l.read()),
-        }
-    }
-
-    pub(crate) fn write(&self) -> ReplicaWriteGuard<'_, T> {
-        match self {
-            ReplicaRwLock::WriterPref(l) => ReplicaWriteGuard::WriterPref(l.write()),
-            ReplicaRwLock::PhaseFair(l) => ReplicaWriteGuard::PhaseFair(l.write()),
-        }
-    }
-}
-
-impl<T> Deref for ReplicaReadGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        match self {
-            ReplicaReadGuard::WriterPref(g) => g,
-            ReplicaReadGuard::PhaseFair(g) => g,
-        }
-    }
-}
-
-impl<T> Deref for ReplicaWriteGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        match self {
-            ReplicaWriteGuard::WriterPref(g) => g,
-            ReplicaWriteGuard::PhaseFair(g) => g,
-        }
-    }
-}
-
-impl<T> DerefMut for ReplicaWriteGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        match self {
-            ReplicaWriteGuard::WriterPref(g) => g.deref_mut(),
-            ReplicaWriteGuard::PhaseFair(g) => g.deref_mut(),
-        }
-    }
-}
-
 /// A volatile replica: the sequential object plus its coordination state.
 pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
     /// The combiner lock (paper: a trylock; winning it makes a thread the
     /// combiner for this node).
     pub(crate) combiner: TryLock<()>,
-    /// Reader-writer lock protecting the sequential object.
-    pub(crate) rw: ReplicaRwLock<T>,
+    /// Reader-writer lock protecting the sequential object. Which lock is
+    /// behind the trait object is [`FairnessMode`]'s choice: the NR §3
+    /// distributed lock (one padded reader slot per worker on this node) by
+    /// default, the centralized spin lock for the ablation baseline, the
+    /// phase-fair lock for §4.2's starvation-free variant.
+    pub(crate) rw: Box<dyn ReplicaLock<T>>,
     /// First log index not yet applied to this replica.
     pub(crate) local_tail: CachePadded<AtomicU64>,
     /// Flat-combining batch: one slot per worker on this node.
@@ -134,22 +61,56 @@ pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
     /// `updateReplicaNow` flag (Algorithm 3): set by a combiner blocked on
     /// logMin to ask this replica's threads to bring it up to date.
     pub(crate) update_now: CachePadded<AtomicBool>,
+    /// Read-only operations that missed the zero-contention fast path (the
+    /// replica was behind `completedTail` at snapshot time). Bumped only on
+    /// the slow path, which already writes shared state.
+    pub(crate) read_slow: CachePadded<AtomicU64>,
 }
 
 impl<T: prep_seqds::SequentialObject> Replica<T> {
     pub(crate) fn new(ds: T, beta: usize, fairness: FairnessMode) -> Self {
+        let rw: Box<dyn ReplicaLock<T>> = match fairness {
+            FairnessMode::Throughput => Box::new(DistRwLock::new(ds, beta)),
+            FairnessMode::ThroughputCentralized => Box::new(RwSpinLock::new(ds)),
+            FairnessMode::StarvationFree => Box::new(PhaseFairRwLock::new(ds)),
+        };
         Replica {
             combiner: TryLock::new(()),
-            rw: ReplicaRwLock::new(ds, fairness),
+            rw,
             local_tail: CachePadded::new(AtomicU64::new(0)),
             slots: (0..beta).map(|_| BatchSlot::new()).collect(),
             update_now: CachePadded::new(AtomicBool::new(false)),
+            read_slow: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
     #[inline]
     pub(crate) fn local_tail(&self) -> u64 {
         self.local_tail.load(Ordering::Acquire)
+    }
+
+    /// Runs `f` with shared access to the sequential object, acquiring the
+    /// replica lock as reader `id`. (`FnOnce`-over-`FnMut` adapter for the
+    /// dyn-compatible [`ReplicaLock`] interface.)
+    #[inline]
+    pub(crate) fn read_with<R>(&self, id: ReaderId, f: impl FnOnce(&T) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.rw.with_read(id, &mut |ds| {
+            out = Some((f.take().expect("with_read runs f once"))(ds));
+        });
+        out.expect("with_read ran f")
+    }
+
+    /// Runs `f` with exclusive access to the sequential object.
+    #[inline]
+    pub(crate) fn write_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut f = Some(f);
+        let mut out = None;
+        self.rw.with_write(&mut |ds| {
+            out = Some((f.take().expect("with_write runs f once"))(ds));
+        });
+        out.expect("with_write ran f")
     }
 }
 
@@ -165,8 +126,34 @@ mod tests {
         assert_eq!(r.slots.len(), 4);
         assert!(!r.update_now.load(Ordering::Relaxed));
         assert!(!r.combiner.is_locked());
+        assert_eq!(r.read_slow.load(Ordering::Relaxed), 0);
         for s in r.slots.iter() {
             assert_eq!(s.state.load(Ordering::Relaxed), SLOT_EMPTY);
         }
+    }
+
+    #[test]
+    fn fairness_selects_reader_slot_layout() {
+        let dist: Replica<Recorder> = Replica::new(Recorder::new(), 4, FairnessMode::Throughput);
+        assert_eq!(dist.rw.reader_slots(), 4);
+        let central: Replica<Recorder> =
+            Replica::new(Recorder::new(), 4, FairnessMode::ThroughputCentralized);
+        assert_eq!(central.rw.reader_slots(), 0);
+        let fair: Replica<Recorder> =
+            Replica::new(Recorder::new(), 4, FairnessMode::StarvationFree);
+        assert_eq!(fair.rw.reader_slots(), 0);
+    }
+
+    #[test]
+    fn read_with_and_write_with_round_trip() {
+        use prep_seqds::recorder::{RecorderOp, RecorderResp};
+        use prep_seqds::SequentialObject;
+        let r: Replica<Recorder> = Replica::new(Recorder::new(), 2, FairnessMode::Throughput);
+        let resp = r.write_with(|ds| ds.apply(&RecorderOp::Record(7)));
+        assert_eq!(resp, RecorderResp::RecordedAt(0));
+        let seen = r.read_with(ReaderId::Slot(1), |ds| ds.apply_readonly(&RecorderOp::Last));
+        assert_eq!(seen, RecorderResp::Last(Some(7)));
+        let shared = r.read_with(ReaderId::Shared, |ds| ds.apply_readonly(&RecorderOp::Count));
+        assert_eq!(shared, RecorderResp::Count(1));
     }
 }

@@ -58,6 +58,9 @@ pub struct PmemRuntime {
 impl PmemRuntime {
     /// Creates a runtime with the given cost model and crash-sim switch.
     pub fn new(latency: LatencyModel, crash_sim: bool) -> Arc<Self> {
+        // Calibrate the charge_ns timer-overhead deduction now, off the hot
+        // path, so the first flush doesn't pay for the measurement.
+        let _ = crate::latency::timer_overhead_ns();
         let tracer = Tracer::new();
         let psan_panic = prep_psan::env_enabled();
         if psan_panic {

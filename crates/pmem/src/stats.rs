@@ -5,23 +5,67 @@
 //! (e.g. CX-PUC's whole-replica flush volume vs PREP's batched log flushes)
 //! is visible, and the crash tests use them as progress probes (e.g. "crash
 //! after the third WBINVD").
+//!
+//! Counters are **striped per thread**: each thread is assigned (round-robin
+//! on first count) one of [`STRIPES`] cacheline-padded cells and only ever
+//! `fetch_add`s its own cell; [`PmemStats::snapshot`] sums the stripes.
+//! Without this, every flush in the durable hot path contends on one shared
+//! cacheline per counter — skewing exactly the scaling measurements the
+//! stats exist to explain. The stripes are monotone, so a summed snapshot
+//! is a valid observation of the totals at some instant between the first
+//! and last stripe read.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
-/// Atomic counters for persistence operations.
+/// Number of counter stripes; threads map onto them round-robin (mod).
+const STRIPES: usize = 16;
+
+/// One stripe's worth of counters. Plain (unpadded) atomics inside — the
+/// stripe as a whole is padded, and a thread owns the entire stripe, so
+/// fields sharing a line is free, not false sharing.
 #[derive(Debug, Default)]
+struct StripeCells {
+    clflush: AtomicU64,
+    clflushopt: AtomicU64,
+    sfence: AtomicU64,
+    wbinvd: AtomicU64,
+    bytes_persisted: AtomicU64,
+    snapshots: AtomicU64,
+    checkpoints: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    checkpoint_lines: AtomicU64,
+}
+
+/// The stripe index this thread's counts land on.
+fn my_stripe() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+            c.set(v);
+        }
+        v
+    })
+}
+
+/// Atomic counters for persistence operations (thread-striped).
+#[derive(Debug)]
 pub struct PmemStats {
-    clflush: CachePadded<AtomicU64>,
-    clflushopt: CachePadded<AtomicU64>,
-    sfence: CachePadded<AtomicU64>,
-    wbinvd: CachePadded<AtomicU64>,
-    bytes_persisted: CachePadded<AtomicU64>,
-    snapshots: CachePadded<AtomicU64>,
-    checkpoints: CachePadded<AtomicU64>,
-    checkpoint_bytes: CachePadded<AtomicU64>,
-    checkpoint_lines: CachePadded<AtomicU64>,
+    stripes: Box<[CachePadded<StripeCells>]>,
+}
+
+impl Default for PmemStats {
+    fn default() -> Self {
+        PmemStats {
+            stripes: (0..STRIPES).map(|_| CachePadded::default()).collect(),
+        }
+    }
 }
 
 /// A point-in-time copy of [`PmemStats`].
@@ -55,64 +99,78 @@ impl PmemStats {
         Self::default()
     }
 
+    #[inline]
+    fn mine(&self) -> &StripeCells {
+        &self.stripes[my_stripe()]
+    }
+
+    #[inline]
+    fn sum(&self, field: impl Fn(&StripeCells) -> &AtomicU64) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| field(s).load(Ordering::Relaxed))
+            .sum()
+    }
+
     pub(crate) fn count_clflush(&self) {
-        self.clflush.fetch_add(1, Ordering::Relaxed);
+        self.mine().clflush.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_clflushopt(&self) {
-        self.clflushopt.fetch_add(1, Ordering::Relaxed);
+        self.mine().clflushopt.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_clflushopt_n(&self, n: u64) {
-        self.clflushopt.fetch_add(n, Ordering::Relaxed);
+        self.mine().clflushopt.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn count_sfence(&self) {
-        self.sfence.fetch_add(1, Ordering::Relaxed);
+        self.mine().sfence.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_wbinvd(&self) {
-        self.wbinvd.fetch_add(1, Ordering::Relaxed);
+        self.mine().wbinvd.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_bytes(&self, n: u64) {
-        self.bytes_persisted.fetch_add(n, Ordering::Relaxed);
+        self.mine().bytes_persisted.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn count_snapshot(&self) {
-        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.mine().snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_checkpoint(&self, bytes: u64) {
-        self.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
-        self.checkpoint_lines
+        let mine = self.mine();
+        mine.checkpoints.fetch_add(1, Ordering::Relaxed);
+        mine.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+        mine.checkpoint_lines
             .fetch_add(bytes.div_ceil(64), Ordering::Relaxed);
     }
 
     /// Number of WBINVDs so far (cheap accessor for progress probes).
     pub fn wbinvd_count(&self) -> u64 {
-        self.wbinvd.load(Ordering::Relaxed)
+        self.sum(|s| &s.wbinvd)
     }
 
     /// Number of replica snapshots installed so far.
     pub fn snapshot_count(&self) -> u64 {
-        self.snapshots.load(Ordering::Relaxed)
+        self.sum(|s| &s.snapshots)
     }
 
     /// Takes a consistent-enough copy of all counters (relaxed reads; the
     /// counters are monotone so any interleaving is a valid observation).
     pub fn snapshot(&self) -> PmemStatsSnapshot {
         PmemStatsSnapshot {
-            clflush: self.clflush.load(Ordering::Relaxed),
-            clflushopt: self.clflushopt.load(Ordering::Relaxed),
-            sfence: self.sfence.load(Ordering::Relaxed),
-            wbinvd: self.wbinvd.load(Ordering::Relaxed),
-            bytes_persisted: self.bytes_persisted.load(Ordering::Relaxed),
-            snapshots: self.snapshots.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
-            checkpoint_lines: self.checkpoint_lines.load(Ordering::Relaxed),
+            clflush: self.sum(|s| &s.clflush),
+            clflushopt: self.sum(|s| &s.clflushopt),
+            sfence: self.sum(|s| &s.sfence),
+            wbinvd: self.sum(|s| &s.wbinvd),
+            bytes_persisted: self.sum(|s| &s.bytes_persisted),
+            snapshots: self.sum(|s| &s.snapshots),
+            checkpoints: self.sum(|s| &s.checkpoints),
+            checkpoint_bytes: self.sum(|s| &s.checkpoint_bytes),
+            checkpoint_lines: self.sum(|s| &s.checkpoint_lines),
         }
     }
 }
@@ -211,5 +269,38 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.snapshot().clflushopt, 4000);
+    }
+
+    #[test]
+    fn counts_from_many_threads_spread_over_stripes_and_still_sum() {
+        use std::sync::Arc;
+        // More threads than stripes: assignment wraps; totals must be exact
+        // regardless of which stripes absorbed which threads.
+        let s = Arc::new(PmemStats::new());
+        let handles: Vec<_> = (0..(STRIPES + 3))
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..(100 + i) {
+                        s.count_bytes(3);
+                        s.count_sfence();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected: u64 = (0..(STRIPES as u64 + 3)).map(|i| 100 + i).sum();
+        let snap = s.snapshot();
+        assert_eq!(snap.sfence, expected);
+        assert_eq!(snap.bytes_persisted, 3 * expected);
+        // A single thread's counts land on exactly one stripe.
+        let occupied = s
+            .stripes
+            .iter()
+            .filter(|st| st.sfence.load(Ordering::Relaxed) > 0)
+            .count();
+        assert!(occupied > 1, "thread counts failed to spread over stripes");
     }
 }

@@ -150,6 +150,37 @@ fn cases() -> Vec<Case> {
             expect: &[ViolationKind::RedundantFlush],
         },
         Case {
+            // Two combiners' adjacent log batches share a boundary line;
+            // each thread stores its half, thread 2's flush lands first and
+            // covers both stores, thread 1 still flushes for its own store.
+            // Unavoidable without cross-thread coordination → not reported.
+            name: "clean: cross-thread re-flush of a shared boundary line is not redundant",
+            trace: vec![
+                store(0, 1, 0, 8), // thread 1's batch tail
+                store(1, 2, 8, 8), // thread 2's batch head, same line
+                flush(2, 2, 8),
+                fence(3, 2),
+                flush(4, 1, 0), // line already clean, but cleaned by t2
+                fence(5, 1),
+            ],
+            expect: &[],
+        },
+        Case {
+            // The same-thread rule still fires through an interleaved
+            // foreign flush: t1 cleans the line, t2 re-flushes (benign),
+            // t1 flushes again with no store anywhere since its own flush.
+            name: "redundant_flush: same-thread re-flush after a foreign benign flush",
+            trace: vec![
+                store(0, 1, 0, 8),
+                flush(1, 1, 0),
+                fence(2, 1),
+                flush(3, 2, 8), // foreign flush of the clean line: benign
+                flush(4, 2, 8), // t2 again, right after its own: redundant
+                fence(5, 2),
+            ],
+            expect: &[ViolationKind::RedundantFlush],
+        },
+        Case {
             name: "cross_thread_fence: a fence on another thread does not drain my flushes",
             trace: vec![
                 store(0, 1, 0, 8),

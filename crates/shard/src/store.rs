@@ -253,6 +253,12 @@ impl<T: SequentialObject> ShardedStore<T> {
         self.shards.iter().map(|s| s.completed_tail()).collect()
     }
 
+    /// Read-only operations that missed the zero-contention read fast path,
+    /// summed over every shard's replicas (see [`PrepUc::read_slow_paths`]).
+    pub fn read_slow_paths(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_slow_paths()).sum()
+    }
+
     /// The shared runtime, when the store was built with one.
     pub fn shared_runtime(&self) -> Option<&Arc<PmemRuntime>> {
         self.shared_runtime.as_ref()

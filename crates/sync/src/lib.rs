@@ -5,11 +5,19 @@
 //!
 //! * a **trylock** protecting each replica, used for combiner election
 //!   ([`TryLock`]);
-//! * a **reader-writer lock** per replica, claimed in write mode by the
-//!   combiner and in read mode by read-only operations ([`RwSpinLock`]);
+//! * a **distributed reader-writer lock** per replica, claimed in write mode
+//!   by the combiner and in read mode by read-only operations — one
+//!   cacheline-padded slot per registered reader, so read acquisition makes
+//!   no store to any line shared with another reader ([`DistRwLock`]; NR §3
+//!   calls for exactly this "writer-preference variant of the distributed
+//!   reader-writer lock");
+//! * the **centralized reader-writer lock** it replaced, kept as the
+//!   ablation baseline ([`RwSpinLock`]);
 //! * a **starvation-free reader-writer lock**, the drop-in the paper suggests
 //!   for starvation-free read-only operations (§4.2 "Liveness")
 //!   ([`PhaseFairRwLock`]);
+//! * the [`ReplicaLock`] trait abstracting over the three, so the replica
+//!   holds whichever one the fairness mode selects;
 //! * a **strong try reader-writer lock**, required by the CX-UC/CX-PUC
 //!   baselines of Correia et al. ([`StrongTryRwLock`]).
 //!
@@ -23,14 +31,18 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod dist_rw;
 mod phase_fair;
+mod replica_lock;
 mod rw_spin;
 mod strong_try;
 mod ticket;
 mod trylock;
 mod waiter;
 
+pub use dist_rw::{DistReadGuard, DistRwLock, DistWriteGuard, ReaderId};
 pub use phase_fair::{PhaseFairReadGuard, PhaseFairRwLock, PhaseFairWriteGuard};
+pub use replica_lock::ReplicaLock;
 pub use rw_spin::{RwSpinLock, RwSpinReadGuard, RwSpinWriteGuard};
 pub use strong_try::{StrongTryReadGuard, StrongTryRwLock, StrongTryWriteGuard};
 pub use ticket::{TicketGuard, TicketLock};

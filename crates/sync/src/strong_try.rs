@@ -3,22 +3,52 @@
 //! The CX universal construction of Correia et al. (the paper's baseline,
 //! §2.3) coordinates access to its 2n replicas with a *strong try*
 //! reader-writer lock: `try_*` operations never fail spuriously — if a try
-//! returns failure, the lock was genuinely held in a conflicting mode at some
+//! returns failure, a conflicting acquisition was genuinely present at some
 //! instant during the call. This lets CX threads scan the replica array and
 //! take the first available replica without ever blocking on a lock that is
 //! actually free.
 //!
-//! State: bit 63 = writer, low bits = reader count.
+//! Readers count on **read-indicator stripes**: an array of cacheline-padded
+//! counters, each thread hashing to one stripe, exactly like the per-thread
+//! read indicators of the reference CX implementation. With one stripe
+//! (the [`StrongTryRwLock::new`] default) this degenerates to a single
+//! shared reader count; [`StrongTryRwLock::with_reader_slots`] spreads
+//! read-heavy traffic across `n` lines so CX's read path stops funneling
+//! every reader through one cacheline (the same distributed-reader idea as
+//! [`crate::DistRwLock`], adapted to strong-try semantics).
+//!
+//! Precision note, inherited from the read-indicator design: a `try_read`
+//! overlapping a concurrent `try_write` *probe* (one that raises the writer
+//! flag, finds a reader on some stripe, and backs out) fails as if against
+//! a real writer. `try_write` failures remain strictly genuine — they prove
+//! a writer held the flag or a reader indicator was raised at that instant.
+//! CX retries its read loop regardless, so this costs at most a re-poll.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
 use crate::Waiter;
 
 const WRITER: u64 = 1 << 63;
-const READER_MASK: u64 = WRITER - 1;
+
+/// The stripe a thread's read indications land on: threads are numbered
+/// round-robin on first use, then reduced modulo the lock's stripe count.
+fn thread_ordinal() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static ORDINAL: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    ORDINAL.with(|c| {
+        let mut v = c.get();
+        if v == usize::MAX {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(v);
+        }
+        v
+    })
+}
 
 /// A strong try reader-writer lock guarding a `T`.
 ///
@@ -32,7 +62,10 @@ const READER_MASK: u64 = WRITER - 1;
 /// ```
 #[derive(Debug)]
 pub struct StrongTryRwLock<T> {
-    state: CachePadded<AtomicU64>,
+    /// Bit 63: writer holds. Readers only load this word.
+    writer: CachePadded<AtomicU64>,
+    /// Read-indicator stripes; a reader counts on `stripes[ordinal % n]`.
+    stripes: Box<[CachePadded<AtomicU64>]>,
     data: UnsafeCell<T>,
 }
 
@@ -41,54 +74,77 @@ unsafe impl<T: Send> Send for StrongTryRwLock<T> {}
 unsafe impl<T: Send + Sync> Sync for StrongTryRwLock<T> {}
 
 impl<T> StrongTryRwLock<T> {
-    /// Creates an unlocked lock around `value`.
+    /// Creates an unlocked lock around `value` with a single reader stripe
+    /// (the centralized baseline).
     pub fn new(value: T) -> Self {
+        Self::with_reader_slots(value, 1)
+    }
+
+    /// Creates an unlocked lock around `value` with `slots` read-indicator
+    /// stripes (clamped to ≥ 1). Readers hash per-thread across stripes;
+    /// writers scan all of them.
+    pub fn with_reader_slots(value: T, slots: usize) -> Self {
         StrongTryRwLock {
-            state: CachePadded::new(AtomicU64::new(0)),
+            writer: CachePadded::new(AtomicU64::new(0)),
+            stripes: (0..slots.max(1))
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             data: UnsafeCell::new(value),
         }
     }
 
+    /// Number of read-indicator stripes.
+    pub fn reader_slots(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Readers currently indicated across all stripes (advisory).
+    pub fn reader_count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
+    }
+
     /// Attempts to acquire in write mode.
     ///
-    /// Strong semantics: returns `None` only if the lock was observed held
-    /// (by a writer or ≥1 reader) during the call.
+    /// Strong semantics: returns `None` only if, at some instant during the
+    /// call, a writer held the lock or a reader indicator was raised.
     #[inline]
     pub fn try_write(&self) -> Option<StrongTryWriteGuard<'_, T>> {
-        // A single strong CAS suffices: failure proves the state was nonzero
-        // (held) at the failure instant.
         if self
-            .state
-            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
+            .writer
+            .compare_exchange(0, WRITER, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
         {
-            Some(StrongTryWriteGuard { lock: self })
-        } else {
-            None
+            return None;
         }
+        // Flag is up: new readers back off. Any indicator still raised is a
+        // reader that acquired before our flag — a genuine conflict.
+        for s in self.stripes.iter() {
+            if s.load(Ordering::SeqCst) != 0 {
+                self.writer.fetch_and(!WRITER, Ordering::Release);
+                return None;
+            }
+        }
+        Some(StrongTryWriteGuard { lock: self })
     }
 
     /// Attempts to acquire in read mode.
     ///
-    /// Strong semantics: only a *writer* causes failure. Interference from
-    /// other readers retries internally — another reader arriving is not a
-    /// conflicting mode.
+    /// Interference from other readers retries internally (another reader
+    /// arriving is not a conflicting mode); only a writer flag — held, or
+    /// raised by an in-flight `try_write` probe — causes failure.
     #[inline]
     pub fn try_read(&self) -> Option<StrongTryReadGuard<'_, T>> {
-        let mut s = self.state.load(Ordering::Relaxed);
-        loop {
-            if s & WRITER != 0 {
-                return None;
-            }
-            debug_assert!(s & READER_MASK < READER_MASK, "reader count overflow");
-            match self
-                .state
-                .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
-            {
-                Ok(_) => return Some(StrongTryReadGuard { lock: self }),
-                Err(actual) => s = actual,
-            }
+        if self.writer.load(Ordering::SeqCst) != 0 {
+            return None;
         }
+        let stripe = thread_ordinal() % self.stripes.len();
+        self.stripes[stripe].fetch_add(1, Ordering::SeqCst);
+        if self.writer.load(Ordering::SeqCst) != 0 {
+            // A writer raised its flag between our two loads; defer to it.
+            self.stripes[stripe].fetch_sub(1, Ordering::Release);
+            return None;
+        }
+        Some(StrongTryReadGuard { lock: self, stripe })
     }
 
     /// Acquires in read mode, blocking politely until no writer holds.
@@ -123,6 +179,7 @@ impl<T> StrongTryRwLock<T> {
 #[derive(Debug)]
 pub struct StrongTryReadGuard<'a, T> {
     lock: &'a StrongTryRwLock<T>,
+    stripe: usize,
 }
 
 impl<T> std::ops::Deref for StrongTryReadGuard<'_, T> {
@@ -137,7 +194,7 @@ impl<T> std::ops::Deref for StrongTryReadGuard<'_, T> {
 impl<T> Drop for StrongTryReadGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
-        self.lock.state.fetch_sub(1, Ordering::Release);
+        self.lock.stripes[self.stripe].fetch_sub(1, Ordering::Release);
     }
 }
 
@@ -167,7 +224,7 @@ impl<T> std::ops::DerefMut for StrongTryWriteGuard<'_, T> {
 impl<T> Drop for StrongTryWriteGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
-        self.lock.state.fetch_and(!WRITER, Ordering::Release);
+        self.lock.writer.fetch_and(!WRITER, Ordering::Release);
     }
 }
 
@@ -195,7 +252,29 @@ mod tests {
         let _r1 = lock.try_read().unwrap();
         let _r2 = lock.try_read().unwrap();
         let _r3 = lock.try_read().unwrap();
-        assert_eq!(lock.state.load(Ordering::Relaxed), 3);
+        assert_eq!(lock.reader_count(), 3);
+    }
+
+    #[test]
+    fn striped_readers_count_and_drain() {
+        let lock = Arc::new(StrongTryRwLock::with_reader_slots((), 4));
+        assert_eq!(lock.reader_slots(), 4);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        drop(lock.try_read().expect("no writer present"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.reader_count(), 0);
+        // Fully drained: a writer must get in.
+        assert!(lock.try_write().is_some());
     }
 
     #[test]
@@ -221,14 +300,14 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(lock.state.load(Ordering::Relaxed), 0);
+        assert_eq!(lock.reader_count(), 0);
     }
 
     #[test]
     fn writes_are_mutually_exclusive() {
         const THREADS: usize = 8;
         const ITERS: usize = 500;
-        let lock = Arc::new(StrongTryRwLock::new(0usize));
+        let lock = Arc::new(StrongTryRwLock::with_reader_slots(0usize, 4));
         let handles: Vec<_> = (0..THREADS)
             .map(|_| {
                 let lock = Arc::clone(&lock);
@@ -244,5 +323,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*lock.read(), THREADS * ITERS);
+    }
+
+    #[test]
+    fn striped_readers_exclude_writers_without_tearing() {
+        let lock = Arc::new(StrongTryRwLock::with_reader_slots((0u64, 0u64), 4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let wl = Arc::clone(&lock);
+        let ws = Arc::clone(&stop);
+        let writer = thread::spawn(move || {
+            let mut i = 0u64;
+            while !ws.load(Ordering::Relaxed) {
+                if let Some(mut g) = wl.try_write() {
+                    i += 1;
+                    g.0 = i;
+                    g.1 = i;
+                }
+            }
+        });
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let g = lock.read();
+                        assert_eq!(g.0, g.1, "torn read through striped StrongTryRwLock");
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }
