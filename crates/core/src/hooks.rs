@@ -152,6 +152,9 @@ impl<O: Clone> HookState<O> {
         let first = (self.psan.log_base + from * eb) / 64;
         let last = (self.psan.log_base + to * eb).div_ceil(64).max(first + 1);
         for line in first..last {
+            // lint:allow(persist-hook): span-flush helper — every caller
+            // traces the stores it persists (trace_store / trace_publish)
+            // before invoking this; tracing again here would double-count.
             self.rt.clflushopt_at(line * 64, site);
         }
     }
@@ -173,7 +176,12 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         // On shutdown the persistence thread no longer advances the
         // boundary; admit rather than hang (loss bounds are only claimed
         // for non-shut-down instances).
+        // ord: Acquire pairs with the persistence thread's boundary
+        // Release — admitting tail t implies we saw the replica/image state
+        // that justified boundary > t.
         tail < self.state.flush_boundary.load(Ordering::Acquire)
+            // ord: Acquire pairs with shutdown's stop Release: once seen,
+            // the final persist pass has already been ordered before it.
             || self.state.stop.load(Ordering::Acquire)
     }
 
@@ -266,6 +274,8 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         // already persisted a covering value; otherwise flush and publish
         // the new durable watermark. `record_max` keeps the NVM image
         // monotone under races between flushers of different values.
+        // ord: Acquire pairs with the AcqRel fetch_max below — a covering
+        // value implies the covering publish_clflush happened-before us.
         if self.state.persisted_ct.load(Ordering::Acquire) >= ct {
             return;
         }
@@ -282,12 +292,17 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
             "PrepHooks::ensure_completed_tail_durable",
         );
         st.ct_cell.record_max(&st.rt, ct);
+        // ord: AcqRel — the release side publishes our flush to the skip
+        // check above; acquire keeps competing maxima ordered.
         st.persisted_ct.fetch_max(ct, Ordering::AcqRel);
     }
 
     fn persistent_tails(&self) -> Vec<u64> {
         vec![
+            // ord: Acquire pairs with the persistence thread's tail Release
+            // stores; a tail t implies the replica image covers [0, t).
             self.state.p_tails[0].load(Ordering::Acquire),
+            // ord: see above.
             self.state.p_tails[1].load(Ordering::Acquire),
         ]
     }
@@ -307,10 +322,16 @@ impl<O: Clone + Send + Sync + 'static> NrHooks<O> for PrepHooks<O> {
         // We lower to the active replica's current tail as well, which the
         // persistence thread can always reach; persisting earlier than ε
         // only tightens the loss bound.
+        // ord: Acquire pairs with the persistence thread's swap Release so
+        // the tail we read below belongs to the replica we think is active.
         let active = self.state.p_active.load(Ordering::Acquire) as usize;
+        // ord: Acquire — only lower a boundary we have actually observed.
         if active != idx && self.state.flush_boundary.load(Ordering::Acquire) >= low_mark {
+            // ord: Acquire pairs with the tail's Release store.
             let active_tail = self.state.p_tails[active].load(Ordering::Acquire);
             let target = low_mark.saturating_sub(1).min(active_tail).max(1);
+            // ord: Release so the persistence thread's Acquire of the new
+            // boundary also sees why it was lowered.
             self.state.flush_boundary.store(target, Ordering::Release);
         }
     }

@@ -65,9 +65,13 @@ impl<T: SequentialObject> PersistenceTask<T> {
         let buffer_delta = dirty_lines && rt.crash_sim_enabled();
 
         loop {
+            // ord: Acquire pairs with shutdown's stop Release so the final
+            // state we leave behind covers everything shut-down code wrote.
             if self.state.stop.load(Ordering::Acquire) {
                 return;
             }
+            // ord: Acquire pairs with our own swap Release (and recovery's
+            // initial store) — mostly self-reads, but helpers read it too.
             let active = self.state.p_active.load(Ordering::Acquire) as usize;
             let tail = self.nr.completed_tail();
             let rep = &mut self.replicas[active];
@@ -98,6 +102,8 @@ impl<T: SequentialObject> PersistenceTask<T> {
                     }
                 });
                 rep.local_tail = tail;
+                // ord: Release publishes the replica state just applied to
+                // persistent_tails()'s Acquire readers.
                 self.state.p_tails[active].store(tail, Ordering::Release);
                 progressed = true;
             }
@@ -114,6 +120,8 @@ impl<T: SequentialObject> PersistenceTask<T> {
             // Persist-and-swap now: each swap raises the boundary by ≥ ε,
             // so the gate provably reopens, and persisting early only
             // tightens the ε + β − 1 loss bound.
+            // ord: Acquire pairs with help_persistent_straggler's Release —
+            // a lowered boundary arrives with the state that motivated it.
             let boundary = self.state.flush_boundary.load(Ordering::Acquire);
             let gate_closed = boundary <= self.nr.log().log_tail();
             // The backstop only fires when the resulting boundary
@@ -211,6 +219,8 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 // crash in between would otherwise recover the old stable
                 // replica against a window sized for the new one).
                 let new_active = 1 - active as u64;
+                // ord: Release publishes the checkpoint written above before
+                // the selector that names it becomes visible.
                 self.state.p_active.store(new_active, Ordering::Release);
                 // Store + CLFLUSH as one atomic persist. The selector is a
                 // *publish*: once durable, recovery trusts the checkpoint
@@ -236,6 +246,8 @@ impl<T: SequentialObject> PersistenceTask<T> {
                 let new_boundary = rep.local_tail + self.epsilon;
                 self.state
                     .flush_boundary
+                    // ord: Release — reserve_admitted's Acquire must see the
+                    // durable checkpoint this boundary is sized against.
                     .store(new_boundary, Ordering::Release);
                 // Entries below both persistent tails can never be needed by
                 // recovery again; let the durable log image reclaim them.

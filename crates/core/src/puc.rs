@@ -173,18 +173,25 @@ impl<T: SequentialObject> PrepUc<T> {
 
     /// Which persistent replica is currently active (0 or 1), volatile view.
     pub fn active_persistent_replica(&self) -> u64 {
+        // ord: Acquire pairs with the persistence thread's swap Release —
+        // the named checkpoint is durable by the time callers see its id.
         self.state.p_active.load(Ordering::Acquire)
     }
 
     /// Current flush boundary (diagnostic).
     pub fn flush_boundary(&self) -> u64 {
+        // ord: Acquire pairs with the boundary's Release stores; diagnostic
+        // readers see a boundary consistent with the checkpoint behind it.
         self.state.flush_boundary.load(Ordering::Acquire)
     }
 
     /// The persistent replicas' localTails (volatile mirror).
     pub fn persistent_tails(&self) -> [u64; 2] {
         [
+            // ord: Acquire pairs with the persistence thread's tail Release
+            // stores; tail t implies entries below t were applied.
             self.state.p_tails[0].load(Ordering::Acquire),
+            // ord: see above.
             self.state.p_tails[1].load(Ordering::Acquire),
         ]
     }
@@ -192,6 +199,8 @@ impl<T: SequentialObject> PrepUc<T> {
 
 impl<T: SequentialObject> Drop for PrepUc<T> {
     fn drop(&mut self) {
+        // ord: Release pairs with the persistence thread's stop Acquire —
+        // everything this instance wrote is visible to its final pass.
         self.state.stop.store(true, Ordering::Release);
         if let Some(h) = self.persistence.take() {
             let _ = h.join();

@@ -85,6 +85,8 @@ impl<O: Clone, R> OpQueue<O, R> {
 
     /// Number of operations enqueued so far.
     pub fn len(&self) -> u64 {
+        // ord: Acquire pairs with enqueue's AcqRel fetch_add release side —
+        // a combiner reading len n may consume positions below n.
         self.tail.load(Ordering::Acquire)
     }
 
@@ -99,6 +101,8 @@ impl<O: Clone, R> OpQueue<O, R> {
             si < MAX_SEGS,
             "CX operation queue exhausted ({MAX_SEGS} segments)"
         );
+        // ord: Acquire pairs with the installing CAS's Release — the
+        // segment's slots are initialized before we dereference.
         let p = self.segs[si].load(Ordering::Acquire);
         if !p.is_null() {
             // SAFETY: once installed, a segment is never freed until drop.
@@ -106,6 +110,9 @@ impl<O: Clone, R> OpQueue<O, R> {
         }
         // Allocate and race to install.
         let fresh = Box::into_raw(Segment::new());
+        // ord: AcqRel on success — Release publishes the fresh segment's
+        // initialization, Acquire orders us after a concurrent installer;
+        // Acquire on failure so the winner's segment is safe to deref.
         match self.segs[si].compare_exchange(
             std::ptr::null_mut(),
             fresh,
@@ -129,10 +136,14 @@ impl<O: Clone, R> OpQueue<O, R> {
 
     /// Appends `op`; returns its position (= linearization index).
     pub fn enqueue(&self, op: O) -> u64 {
+        // ord: AcqRel — the release side publishes the position to len()
+        // readers; acquire orders us after prior enqueuers so position
+        // ownership is a total order.
         let pos = self.tail.fetch_add(1, Ordering::AcqRel);
         let slot = self.slot(pos);
         // SAFETY: position ownership from fetch_add; ready not yet set.
         unsafe { *slot.op.get() = Some(op) };
+        // ord: Release publishes the op write above to op_at's Acquire.
         slot.ready.store(1, Ordering::Release);
         pos
     }
@@ -142,6 +153,8 @@ impl<O: Clone, R> OpQueue<O, R> {
     pub fn op_at(&self, pos: u64) -> O {
         let slot = self.slot(pos);
         let mut w = Waiter::new();
+        // ord: Acquire pairs with enqueue's ready Release; the op write is
+        // visible before we clone it.
         while slot.ready.load(Ordering::Acquire) == 0 {
             w.wait();
         }
@@ -159,6 +172,9 @@ impl<O: Clone, R> OpQueue<O, R> {
     pub fn try_claim_resp(&self, pos: u64) -> bool {
         self.slot(pos)
             .resp_state
+            // ord: AcqRel — Release marks the claim before the winner's
+            // resp write; Acquire (both outcomes) orders claimants so the
+            // loser does not touch the slot.
             .compare_exchange(
                 RESP_EMPTY,
                 RESP_CLAIMED,
@@ -171,14 +187,18 @@ impl<O: Clone, R> OpQueue<O, R> {
     /// Publishes the response for `pos` (claim winner only).
     pub fn publish_resp(&self, pos: u64, resp: R) {
         let slot = self.slot(pos);
+        // ord: debug sanity read of our own claimed slot.
         debug_assert_eq!(slot.resp_state.load(Ordering::Relaxed), RESP_CLAIMED);
         // SAFETY: exclusive via the claim CAS.
         unsafe { *slot.resp.get() = Some(resp) };
+        // ord: Release publishes the resp write to resp_ready's Acquire.
         slot.resp_state.store(RESP_READY, Ordering::Release);
     }
 
     /// True once `pos`'s response is published.
     pub fn resp_ready(&self, pos: u64) -> bool {
+        // ord: Acquire pairs with publish_resp's Release; once READY the
+        // response value is visible to take_resp.
         self.slot(pos).resp_state.load(Ordering::Acquire) == RESP_READY
     }
 
@@ -202,6 +222,7 @@ impl<O: Clone, R> Default for OpQueue<O, R> {
 impl<O, R> Drop for OpQueue<O, R> {
     fn drop(&mut self) {
         for s in self.segs.iter() {
+            // ord: &mut self in drop — no concurrent installers remain.
             let p = s.load(Ordering::Relaxed);
             if !p.is_null() {
                 // SAFETY: exclusive in drop; segments were Box-allocated.

@@ -147,6 +147,7 @@ impl<T: SequentialObject> CxUc<T> {
         //    replay covers our op), in which case our response shows up
         //    without us holding any lock.
         let mut w = Waiter::new();
+        // ord: round-robin scan-start hint; only RMW atomicity matters.
         let start = self.next_hint.fetch_add(1, Ordering::Relaxed) as usize;
         loop {
             if self.queue.resp_ready(pos) {
@@ -208,8 +209,12 @@ impl<T: SequentialObject> CxUc<T> {
         // most-advanced replica: high 48 bits = applied, low 16 = replica.
         debug_assert!(replica < (1 << 16));
         let packed = (applied << 16) | replica;
+        // ord: optimistic snapshot; the CAS below revalidates it.
         let mut cur = self.latest.load(Ordering::Relaxed);
         while packed > cur {
+            // ord: AcqRel on success — Release publishes the replica state
+            // replayed under the write lock before readers route to it;
+            // Relaxed on failure, the retry only feeds the next attempt.
             match self.latest.compare_exchange_weak(
                 cur,
                 packed,
@@ -226,8 +231,12 @@ impl<T: SequentialObject> CxUc<T> {
         let mut w = Waiter::new();
         // The response must reflect every operation completed before this
         // invocation; all of those are covered by `latest` at snapshot time.
+        // ord: Acquire pairs with publish_latest's Release — the floor
+        // covers every operation completed before this invocation.
         let floor = self.latest.load(Ordering::Acquire) >> 16;
         loop {
+            // ord: Acquire — the routed-to replica's replayed state is
+            // visible (with the lock's own ordering as a second fence).
             let packed = self.latest.load(Ordering::Acquire);
             let replica = (packed & 0xffff) as usize;
             if let Some(guard) = self.replicas[replica].state.try_read() {
@@ -243,6 +252,8 @@ impl<T: SequentialObject> CxUc<T> {
     pub fn with_latest<R>(&self, f: impl FnOnce(&T) -> R) -> R {
         let mut w = Waiter::new();
         loop {
+            // ord: Acquire pairs with publish_latest's Release (see
+            // execute_readonly).
             let packed = self.latest.load(Ordering::Acquire);
             let replica = (packed & 0xffff) as usize;
             if let Some(guard) = self.replicas[replica].state.try_read() {

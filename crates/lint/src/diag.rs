@@ -1,0 +1,108 @@
+//! Diagnostics: machine-readable findings with positions, rule ids,
+//! messages, and suggestions.
+
+use std::fmt;
+
+/// Stable rule identifiers (the strings `// lint:allow(<rule>)` names).
+pub mod rules {
+    /// Atomic access with an explicit `Ordering` but no `// ord:`
+    /// justification.
+    pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+    /// `SeqCst` without justification — ordering-by-default smell.
+    pub const ATOMIC_SEQCST: &str = "atomic-seqcst";
+    /// `Relaxed` on a pointer-publishing store.
+    pub const ATOMIC_RELAXED_PUBLISH: &str = "atomic-relaxed-publish";
+    /// Unpadded atomic field in a `Sync`-shared struct.
+    pub const CACHELINE_PADDING: &str = "cacheline-padding";
+    /// Persist primitive called without a psan trace hook in scope.
+    pub const PERSIST_HOOK: &str = "persist-hook";
+    /// `unsafe` site without an attached `// SAFETY:` comment.
+    pub const UNSAFE_MISSING_SAFETY: &str = "unsafe-missing-safety";
+    /// Unsafe-free crate without `#![forbid(unsafe_code)]`.
+    pub const UNSAFE_MISSING_FORBID: &str = "unsafe-missing-forbid";
+    /// Unsafe-using crate without `#![deny(unsafe_op_in_unsafe_fn)]`.
+    pub const UNSAFE_MISSING_DENY: &str = "unsafe-missing-deny";
+    /// Configured forbidden API used outside its allowed paths.
+    pub const FORBIDDEN_API: &str = "forbidden-api";
+    /// `lint:allow` without a mandatory reason.
+    pub const LINT_ALLOW_REASON: &str = "lint-allow-reason";
+
+    /// Every rule id, for `--list-rules`.
+    pub const ALL: &[&str] = &[
+        ATOMIC_ORDERING,
+        ATOMIC_SEQCST,
+        ATOMIC_RELAXED_PUBLISH,
+        CACHELINE_PADDING,
+        PERSIST_HOOK,
+        UNSAFE_MISSING_SAFETY,
+        UNSAFE_MISSING_FORBID,
+        UNSAFE_MISSING_DENY,
+        FORBIDDEN_API,
+        LINT_ALLOW_REASON,
+    ];
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Rule id (one of [`rules`]).
+    pub rule: &'static str,
+    pub message: String,
+    /// Concrete fix the developer can apply.
+    pub suggestion: Option<String>,
+    /// Last line of the flagged construct — `lint:allow` comments attached
+    /// anywhere in `line..=end_line` suppress the finding.
+    pub end_line: u32,
+}
+
+impl Diagnostic {
+    pub fn new(
+        path: &str,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+            suggestion: None,
+            end_line: line,
+        }
+    }
+
+    pub fn suggest(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    pub fn span_to(mut self, end_line: u32) -> Self {
+        self.end_line = end_line.max(self.line);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// `file:line:col: [rule-id] message` — one finding per line, grep-
+    /// and editor-friendly; the suggestion follows indented.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n    suggestion: {s}")?;
+        }
+        Ok(())
+    }
+}

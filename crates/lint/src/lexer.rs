@@ -1,0 +1,450 @@
+//! A string/comment-aware Rust lexer.
+//!
+//! The whole point of `prep-lint` over the grep scripts it replaces is that
+//! rules never fire on (or get fooled by) the contents of string literals
+//! and comments: `"unsafe fn"` in a test fixture is a [`TokKind::Str`], not
+//! an unsafe site; `// Ordering::SeqCst is wrong here` is a comment, not an
+//! atomic access. The lexer therefore classifies every byte of the source
+//! into exactly one token and guarantees two invariants the fuzz suite
+//! pins down:
+//!
+//! 1. **Totality** — any byte sequence lexes without panicking (garbage
+//!    becomes `Punct`/`Ident` tokens; unterminated literals run to EOF).
+//! 2. **Round-trip** — tokens tile the input: token `k` spans
+//!    `[tokens[k].start, tokens[k].end)`, spans are contiguous, and
+//!    concatenating `src[span]` over all tokens reproduces the source.
+//!
+//! Handled Rust-isms: nested block comments, raw strings with any hash
+//! count (`r##"…"##`, `br#"…"#`, `cr"…"`), raw identifiers (`r#match`),
+//! byte/char literals vs lifetimes (`b'x'`, `'\u{1F980}'` vs `'static`),
+//! and numeric literals with underscores/suffixes/exponents.
+
+/// Classification of one source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Horizontal/vertical whitespace run.
+    Whitespace,
+    /// `// …` (incl. `///` and `//!`) up to, not including, the newline.
+    LineComment,
+    /// `/* … */`, nesting tracked; unterminated runs to EOF.
+    BlockComment,
+    /// `"…"`, `b"…"`, `c"…"` with escape handling.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##`, `cr#"…"#` — no escapes, hash-matched.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'ident` (not followed by a closing quote).
+    Lifetime,
+    /// Identifier or keyword, incl. raw identifiers (`r#type`).
+    Ident,
+    /// Numeric literal (int/float, any base, suffixed).
+    Num,
+    /// Any single other byte (`{`, `:`, `.`, `#`, …).
+    Punct,
+}
+
+/// One lexed token: a classification plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token carries meaning for the rules (not whitespace or
+    /// a comment).
+    pub fn is_significant(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Whitespace | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// If `i` starts a (possibly raw/byte) string literal, returns
+/// `(content_start, hashes, raw)` where `content_start` points just past
+/// the opening quote.
+fn string_prefix(b: &[u8], i: usize) -> Option<(usize, usize, bool)> {
+    // Longest prefixes first so `br` wins over `b`.
+    for prefix in [&b"br"[..], b"cr", b"r", b"b", b"c"] {
+        if b.len() >= i + prefix.len() && b[i..i + prefix.len()] == *prefix {
+            let raw_capable = prefix.last() == Some(&b'r');
+            let mut j = i + prefix.len();
+            let mut hashes = 0;
+            if raw_capable {
+                while j < b.len() && b[j] == b'#' {
+                    j += 1;
+                    hashes += 1;
+                }
+            }
+            if j < b.len() && b[j] == b'"' {
+                return Some((j + 1, hashes, raw_capable));
+            }
+        }
+    }
+    None
+}
+
+/// Scans a non-raw string body starting just past the opening quote;
+/// returns the offset one past the closing quote (or EOF if unterminated).
+fn scan_escaped(b: &[u8], mut i: usize, quote: u8) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            c if c == quote => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Scans a raw string body; the terminator is a quote followed by `hashes`
+/// hash signs. Returns the offset one past the terminator (or EOF).
+fn scan_raw(b: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = i + 1;
+            let mut seen = 0;
+            while seen < hashes && k < b.len() && b[k] == b'#' {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Length in bytes of the UTF-8 character starting at `i` (1 for ASCII and
+/// for any ill-formed byte — progress is always made).
+fn char_len(b: &[u8], i: usize) -> usize {
+    let c = b[i];
+    let n = if c < 0x80 {
+        1
+    } else if c >= 0xF0 {
+        4
+    } else if c >= 0xE0 {
+        3
+    } else if c >= 0xC0 {
+        2
+    } else {
+        1
+    };
+    n.min(b.len() - i)
+}
+
+/// Lexes `src` completely. See the module docs for the invariants.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        let kind = if c.is_ascii_whitespace() {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokKind::Whitespace
+        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::BlockComment
+        } else if c == b'"' {
+            i = scan_escaped(b, i + 1, b'"');
+            TokKind::Str
+        } else if c == b'\'' {
+            // Lifetime, char literal, or a stray quote.
+            let j = i + 1;
+            if j >= b.len() {
+                i = j;
+                TokKind::Punct
+            } else if b[j] == b'\\' {
+                i = scan_escaped(b, j, b'\'');
+                TokKind::Char
+            } else if b[j] == b'\'' {
+                // `''` — not valid Rust; treat the first quote as punct.
+                i = j;
+                TokKind::Punct
+            } else {
+                let n = char_len(b, j);
+                if b.get(j + n) == Some(&b'\'') {
+                    i = j + n + 1;
+                    TokKind::Char
+                } else if is_ident_start(b[j]) {
+                    i = j;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    TokKind::Lifetime
+                } else {
+                    i = j;
+                    TokKind::Punct
+                }
+            }
+        } else if let Some((content, hashes, raw)) = string_prefix(b, i) {
+            i = if raw {
+                scan_raw(b, content, hashes)
+            } else {
+                scan_escaped(b, content, b'"')
+            };
+            if raw {
+                TokKind::RawStr
+            } else {
+                TokKind::Str
+            }
+        } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            // Byte char literal b'x'.
+            let j = i + 2;
+            i = if b.get(j) == Some(&b'\\') {
+                scan_escaped(b, j, b'\'')
+            } else if j < b.len() {
+                let n = char_len(b, j);
+                if b.get(j + n) == Some(&b'\'') {
+                    j + n + 1
+                } else {
+                    // `b'lifetime` style — lex `b` as ident, back off.
+                    i + 1
+                }
+            } else {
+                j
+            };
+            if i == start + 1 {
+                TokKind::Ident
+            } else {
+                TokKind::Char
+            }
+        } else if c == b'r'
+            && b.get(i + 1) == Some(&b'#')
+            && b.get(i + 2).is_some_and(|&c| is_ident_start(c))
+        {
+            // Raw identifier r#type.
+            i += 2;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if is_ident_start(c) {
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            TokKind::Ident
+        } else if c.is_ascii_digit() {
+            i += 1;
+            if c == b'0' && matches!(b.get(i), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B')) {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                if matches!(b.get(i), Some(b'e' | b'E'))
+                    && (b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                        || (matches!(b.get(i + 1), Some(b'+' | b'-'))
+                            && b.get(i + 2).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                // Type suffix (u64, f32, usize, …).
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            TokKind::Num
+        } else {
+            i += char_len(b, i);
+            TokKind::Punct
+        };
+        debug_assert!(i > start, "lexer failed to advance at byte {start}");
+        toks.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    toks
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs.
+#[derive(Debug)]
+pub struct LineMap {
+    /// Byte offset at which each line starts; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// 1-based line number containing byte `off`.
+    pub fn line_of(&self, off: usize) -> u32 {
+        self.starts.partition_point(|&s| s <= off) as u32
+    }
+
+    /// 1-based `(line, column)` of byte `off` (column counts bytes).
+    pub fn line_col(&self, off: usize) -> (u32, u32) {
+        let line = self.line_of(off);
+        let col = off - self.starts[(line - 1) as usize] + 1;
+        (line, col as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let toks = lex(src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before token at {}", t.start);
+            assert!(t.end > t.start);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len(), "tokens do not tile the source");
+        toks
+    }
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_classified() {
+        let ks = kinds("let s = \"unsafe fn\"; // unsafe impl\n/* unsafe { */");
+        assert!(ks.contains(&(TokKind::Str, "\"unsafe fn\"")));
+        assert!(ks.contains(&(TokKind::LineComment, "// unsafe impl")));
+        assert!(ks.contains(&(TokKind::BlockComment, "/* unsafe { */")));
+        // No Ident token says "unsafe".
+        assert!(!ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && *t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ks = kinds(r####"let x = r#"quote " inside"#; let y = r"plain";"####);
+        assert!(ks.contains(&(TokKind::RawStr, r###"r#"quote " inside"#"###)));
+        assert!(ks.contains(&(TokKind::RawStr, "r\"plain\"")));
+        let ks = kinds("br#\"bytes\"#");
+        assert_eq!(ks[0].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s = 'static_; }");
+        assert!(ks.contains(&(TokKind::Lifetime, "'a")));
+        assert!(ks.contains(&(TokKind::Char, "'x'")));
+        assert!(ks.contains(&(TokKind::Char, "'\\n'")));
+        assert!(ks.contains(&(TokKind::Lifetime, "'static_")));
+    }
+
+    #[test]
+    fn byte_and_unicode_chars() {
+        let ks = kinds("b'x' b\"s\" '\u{1F980}'");
+        assert_eq!(ks[0], (TokKind::Char, "b'x'"));
+        assert_eq!(ks[1].0, TokKind::Str);
+        assert_eq!(ks[2], (TokKind::Char, "'\u{1F980}'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(ks[0].0, TokKind::BlockComment);
+        assert_eq!(ks[1], (TokKind::Ident, "after"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ks = kinds("let r#type = 1; r#\"raw\"#");
+        assert!(ks.contains(&(TokKind::Ident, "r#type")));
+        assert!(ks.contains(&(TokKind::RawStr, "r#\"raw\"#")));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let ks = kinds("0x1F_u64 1_000.5e-3 0..10 1.max(2)");
+        assert!(ks.contains(&(TokKind::Num, "0x1F_u64")));
+        assert!(ks.contains(&(TokKind::Num, "1_000.5e-3")));
+        assert!(ks.contains(&(TokKind::Num, "0")));
+        assert!(ks.contains(&(TokKind::Num, "10")));
+        assert!(ks.contains(&(TokKind::Num, "1")));
+        assert!(ks.contains(&(TokKind::Ident, "max")));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof() {
+        roundtrip("\"never closed");
+        roundtrip("r#\"never closed");
+        roundtrip("/* never closed");
+        roundtrip("'");
+        roundtrip("b'");
+    }
+
+    #[test]
+    fn line_map() {
+        let lm = LineMap::new("ab\ncd\n");
+        assert_eq!(lm.line_col(0), (1, 1));
+        assert_eq!(lm.line_col(1), (1, 2));
+        assert_eq!(lm.line_col(3), (2, 1));
+        assert_eq!(lm.line_col(5), (2, 3));
+    }
+}

@@ -1,0 +1,43 @@
+//! prep-lint: a workspace static-analysis pass for the concurrency and
+//! persistence invariants the PREP-UC design depends on but `rustc`
+//! cannot see.
+//!
+//! The compiler checks types; it does not check that a `SeqCst` is
+//! load-bearing, that an atomic field shares a cacheline on purpose,
+//! that every persisted store is visible to the persistence sanitizer,
+//! or that an `unsafe` block states its invariant. Those are exactly
+//! the properties the paper's correctness argument leans on, so this
+//! crate machine-checks them:
+//!
+//! * [`rules::ordering`] — every explicit `Ordering` carries a
+//!   `// ord: <why>`; `SeqCst` and relaxed pointer-publishes get
+//!   dedicated diagnostics.
+//! * [`rules::padding`] — atomic fields in shared structs are
+//!   `CachePadded` or justified with `// shared-line: <why>` (§5.1).
+//! * [`rules::persist`] — functions driving persist primitives also
+//!   trace through the psan hooks (§5 durability, machine-checked).
+//! * [`rules::unsafety`] — the lexer-accurate successor to
+//!   `ci/check_unsafe.sh`.
+//! * [`rules::forbidden`] — configurable API bans (`Instant::now`
+//!   outside the latency model, blocking std locks in hot paths,
+//!   `thread::sleep` outside `Waiter`).
+//!
+//! Findings are suppressed only by `// lint:allow(<rule>): <reason>`
+//! with a mandatory reason; the reason-less form is itself a finding.
+//! Everything here is dependency-free: a hand-rolled lexer
+//! ([`lexer`]), a lightweight item model ([`model`]), and a TOML-subset
+//! config parser ([`config`]).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+pub use config::Config;
+pub use diag::{rules as rule_ids, Diagnostic};
+pub use engine::{lint_files, lint_workspace};
+pub use model::FileModel;

@@ -1,0 +1,158 @@
+//! prep-lint CLI.
+//!
+//! ```text
+//! cargo run -p prep-lint -- --deny            # lint the workspace, exit 1 on findings
+//! cargo run -p prep-lint -- --list-rules      # print every rule id
+//! cargo run -p prep-lint -- path/to/file.rs   # lint specific files
+//! ```
+//!
+//! The workspace root is `--root <dir>` if given, else the nearest
+//! ancestor of the current directory containing `lint.toml` (falling
+//! back to `Cargo.toml` with a `[workspace]` table), so the binary works
+//! from any subdirectory. `--config <file>` overrides the config path.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use prep_lint::{lint_files, lint_workspace, rule_ids, Config};
+
+struct Args {
+    deny: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        list_rules: false,
+        root: None,
+        config: None,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "prep-lint: static analysis for PREP-UC concurrency & persistence invariants\n\
+                     \n\
+                     usage: prep-lint [--deny] [--root DIR] [--config FILE] [--list-rules] [FILES…]\n\
+                     \n\
+                     --deny        exit 1 if any finding is reported\n\
+                     --root DIR    workspace root (default: nearest ancestor with lint.toml)\n\
+                     --config FILE lint.toml to load (default: <root>/lint.toml)\n\
+                     --list-rules  print every rule id and exit\n\
+                     FILES         lint only these files (workspace-relative or absolute)"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag: {other}")),
+            other => args.files.push(PathBuf::from(other)),
+        }
+    }
+    Ok(args)
+}
+
+/// Nearest ancestor of `start` that looks like the workspace root.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return Some(d);
+        }
+        if let Ok(manifest) = std::fs::read_to_string(d.join("Cargo.toml")) {
+            if manifest.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    if args.list_rules {
+        for r in rule_ids::ALL {
+            println!("{r}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => find_root(&cwd).ok_or("no lint.toml or [workspace] Cargo.toml found above cwd")?,
+    };
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = if config_path.is_file() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+        Config::from_toml(&text).map_err(|e| format!("{}: {e}", config_path.display()))?
+    } else {
+        Config::default()
+    };
+
+    let diags = if args.files.is_empty() {
+        lint_workspace(&root, &cfg)?
+    } else {
+        let mut files = Vec::new();
+        for f in &args.files {
+            let abs = if f.is_absolute() {
+                f.clone()
+            } else {
+                cwd.join(f)
+            };
+            let rel = abs
+                .strip_prefix(&root)
+                .unwrap_or(&abs)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = std::fs::read_to_string(&abs)
+                .map_err(|e| format!("reading {}: {e}", abs.display()))?;
+            files.push((rel, src));
+        }
+        lint_files(&files, &cfg)
+    };
+
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        eprintln!("prep-lint: clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("prep-lint: {} finding(s)", diags.len());
+        Ok(if args.deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        })
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("prep-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Rule 1 — atomic-ordering audit.
+//!
+//! Every atomic access that names an explicit `Ordering` must carry a
+//! `// ord: <why>` justification (same line, the lines the call spans, or
+//! the comment block directly above). Two sharper sub-diagnostics:
+//!
+//! * [`rules::ATOMIC_SEQCST`] — `SeqCst` without justification. The
+//!   strongest ordering used "to be safe" hides the actual protocol; it
+//!   is either load-bearing (say why: usually a store→load
+//!   store-buffering pair, as in `DistRwLock`) or a free downgrade.
+//! * [`rules::ATOMIC_RELAXED_PUBLISH`] — `Relaxed` on a store/swap that
+//!   publishes a pointer (receiver field typed `AtomicPtr`, or the value
+//!   comes from `into_raw`). A relaxed publish lets consumers observe the
+//!   pointee before its initialization — this one is reported even when
+//!   an `ord:` comment is present, and needs an explicit `lint:allow` to
+//!   stand.
+
+use crate::config::Config;
+use crate::diag::{rules, Diagnostic};
+use crate::model::{CallSite, FileModel};
+
+/// Methods that take explicit `Ordering` arguments on std atomics.
+pub const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+];
+
+const ORDERINGS: &[&str] = &["SeqCst", "AcqRel", "Acquire", "Release", "Relaxed"];
+
+/// The ordering identifiers named in a call's argument list.
+fn orderings_in(model: &FileModel<'_>, call: &CallSite) -> Vec<&'static str> {
+    let mut found = Vec::new();
+    for k in call.args.clone() {
+        let t = model.txt(k);
+        if let Some(o) = ORDERINGS.iter().find(|o| **o == t) {
+            if !found.contains(o) {
+                found.push(*o);
+            }
+        }
+    }
+    found
+}
+
+/// Whether the call's value argument looks like a raw-pointer publish.
+fn publishes_pointer(model: &FileModel<'_>, call: &CallSite) -> bool {
+    if let Some(recv) = &call.recv {
+        let field_is_ptr = model
+            .structs
+            .iter()
+            .flat_map(|s| s.fields.iter())
+            .any(|f| &f.name == recv && f.ty.contains("AtomicPtr"));
+        if field_is_ptr {
+            return true;
+        }
+    }
+    call.args
+        .clone()
+        .any(|k| model.txt(k).ends_with("into_raw"))
+}
+
+pub fn run(path: &str, model: &FileModel<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.ordering.applies(path) {
+        return;
+    }
+    for call in &model.calls {
+        if !call.is_method || !ATOMIC_METHODS.contains(&call.method.as_str()) {
+            continue;
+        }
+        let ords = orderings_in(model, call);
+        if ords.is_empty() || model.in_test(call.byte) {
+            continue;
+        }
+        // Justification may sit on any line the call spans or directly
+        // above its first line (comment blocks cascade down).
+        let justified = model.has_marker(call.line, call.end_line, "ord:");
+
+        if ords.contains(&"Relaxed")
+            && matches!(call.method.as_str(), "store" | "swap")
+            && publishes_pointer(model, call)
+        {
+            out.push(
+                Diagnostic::new(
+                    path,
+                    call.line,
+                    call.col,
+                    rules::ATOMIC_RELAXED_PUBLISH,
+                    format!(
+                        "`{}` publishes a pointer with Ordering::Relaxed: consumers may read \
+                         the pointee before its initialization is visible",
+                        call.method
+                    ),
+                )
+                .suggest(
+                    "publish with Ordering::Release (pair the consumer load with Acquire), or \
+                     justify with // lint:allow(atomic-relaxed-publish): <reason>",
+                )
+                .span_to(call.end_line),
+            );
+        }
+
+        if justified {
+            continue;
+        }
+        if ords.contains(&"SeqCst") {
+            out.push(
+                Diagnostic::new(
+                    path,
+                    call.line,
+                    call.col,
+                    rules::ATOMIC_SEQCST,
+                    format!(
+                        "`{}` uses Ordering::SeqCst without a // ord: justification — \
+                         strongest-by-default hides whether the total order is load-bearing",
+                        call.method
+                    ),
+                )
+                .suggest(
+                    "add `// ord: <why SeqCst>` naming the store→load pair that needs the \
+                     total order, or downgrade to Acquire/Release",
+                )
+                .span_to(call.end_line),
+            );
+        } else {
+            out.push(
+                Diagnostic::new(
+                    path,
+                    call.line,
+                    call.col,
+                    rules::ATOMIC_ORDERING,
+                    format!(
+                        "`{}` with explicit Ordering::{} lacks a // ord: justification",
+                        call.method,
+                        ords.join("/")
+                    ),
+                )
+                .suggest("add `// ord: <why this ordering is sufficient>` at the call")
+                .span_to(call.end_line),
+            );
+        }
+    }
+}

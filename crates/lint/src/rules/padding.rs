@@ -1,0 +1,58 @@
+//! Rule 2 — cacheline-padding discipline.
+//!
+//! An atomic field in a `Sync`-shared struct either sits on its own
+//! cacheline (`CachePadded<…>`) or carries a `// shared-line: <why>`
+//! justification saying why sharing its line is not false sharing (the
+//! container is padded, the field is cold, one thread owns the whole
+//! struct, …). A struct-level `// shared-line:` comment covers every
+//! field (the `StripeCells` idiom: the stripe is padded as a whole).
+//!
+//! This is the rule that would have caught PR 2's `nr/log.rs` bug
+//! statically: log `Entry` atomics sharing lines across combiners cost
+//! ~2× on cross-node appends until the entries were `CachePadded`
+//! (paper §5.1 discusses exactly this placement).
+
+use crate::config::Config;
+use crate::diag::{rules, Diagnostic};
+use crate::model::FileModel;
+
+pub fn run(path: &str, model: &FileModel<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.padding.applies(path) {
+        return;
+    }
+    for s in &model.structs {
+        if model.in_test(s.byte) {
+            continue;
+        }
+        let struct_justified = model.has_marker(s.line, s.line, "shared-line:");
+        for f in &s.fields {
+            // An atomic type not wrapped in CachePadded anywhere in the
+            // declaration. `Atomic` also nets AtomicPtr/AtomicCell-style
+            // wrappers, which share lines all the same.
+            if !f.ty.contains("Atomic") || f.ty.contains("CachePadded") {
+                continue;
+            }
+            if struct_justified || model.has_marker(f.line, f.line, "shared-line:") {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    path,
+                    f.line,
+                    f.col,
+                    rules::CACHELINE_PADDING,
+                    format!(
+                        "atomic field `{}.{}: {}` is not CachePadded: writers of this field \
+                         and of its line-neighbors will false-share",
+                        s.name, f.name, f.ty
+                    ),
+                )
+                .suggest(format!(
+                    "wrap as `CachePadded<{}>`, or justify with `// shared-line: <why>` \
+                     (container already padded / cold field / single-writer line)",
+                    f.ty
+                )),
+            );
+        }
+    }
+}

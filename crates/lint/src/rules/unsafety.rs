@@ -1,0 +1,138 @@
+//! Rule 4 — unsafe audit (lexer-accurate `ci/check_unsafe.sh` successor).
+//!
+//! Same policy as the retired shell script, but immune to `unsafe`
+//! appearing in strings, comments, or test fixtures, and enforced per
+//! *site* rather than per file:
+//!
+//! * every `unsafe` site (block, fn, impl, trait) carries an attached
+//!   `// SAFETY:` comment — trailing, on the lines above, or covering a
+//!   contiguous run of `unsafe impl` lines (the Send+Sync pair idiom);
+//! * a crate with no unsafe sites declares `#![forbid(unsafe_code)]`;
+//! * a crate with unsafe sites declares `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!
+//! Only `src/` trees count toward a crate's unsafe inventory, matching
+//! the old script's scope.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::diag::{rules, Diagnostic};
+use crate::model::{FileModel, UnsafeKind};
+
+/// Per-site check: every unsafe site needs an attached `SAFETY:` comment.
+pub fn run_file(path: &str, model: &FileModel<'_>, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.unsafety.applies(path) || !path.contains("/src/") {
+        return;
+    }
+    let impl_lines: Vec<u32> = model
+        .unsafe_sites
+        .iter()
+        .filter(|s| s.kind == UnsafeKind::Impl)
+        .map(|s| s.line)
+        .collect();
+    for site in &model.unsafe_sites {
+        // Test code exercises unsafe APIs under contracts the test itself
+        // sets up; per-site comments there are ritual, not information.
+        // (The crate-level attribute checks still count test unsafe.)
+        if model.in_test(site.byte) {
+            continue;
+        }
+        // A run of consecutive `unsafe impl` lines (Send + Sync) shares
+        // one SAFETY comment above the first.
+        let mut lo = site.line;
+        if site.kind == UnsafeKind::Impl {
+            while impl_lines.contains(&(lo - 1)) {
+                lo -= 1;
+            }
+        }
+        if model.has_marker(lo, site.line, "SAFETY:") {
+            continue;
+        }
+        // An `unsafe fn` documented with the rustdoc `# Safety` section
+        // states its contract in the canonical place.
+        if site.kind == UnsafeKind::Fn
+            && model
+                .anns(lo, site.line)
+                .any(|c| c.text.trim_start().starts_with("# Safety"))
+        {
+            continue;
+        }
+        out.push(
+            Diagnostic::new(
+                path,
+                site.line,
+                site.col,
+                rules::UNSAFE_MISSING_SAFETY,
+                format!(
+                    "unsafe {} without an attached // SAFETY: comment",
+                    match site.kind {
+                        UnsafeKind::Block => "block",
+                        UnsafeKind::Fn => "fn",
+                        UnsafeKind::Impl => "impl",
+                        UnsafeKind::Trait => "trait",
+                        UnsafeKind::Other => "site",
+                    }
+                ),
+            )
+            .suggest("state the invariant that makes this sound: // SAFETY: <argument>"),
+        );
+    }
+}
+
+/// Crate-level check over all models, grouped by `crates/<name>/`.
+pub fn run_crates(files: &[(String, FileModel<'_>)], cfg: &Config, out: &mut Vec<Diagnostic>) {
+    let mut crates: BTreeMap<&str, (bool, Option<&FileModel<'_>>, String)> = BTreeMap::new();
+    for (path, model) in files {
+        if !cfg.unsafety.applies(path) || !path.contains("/src/") {
+            continue;
+        }
+        let Some(rest) = path.strip_prefix("crates/") else {
+            continue;
+        };
+        let Some((name, _)) = rest.split_once('/') else {
+            continue;
+        };
+        let entry =
+            crates
+                .entry(name)
+                .or_insert((false, None, format!("crates/{name}/src/lib.rs")));
+        entry.0 |= !model.unsafe_sites.is_empty();
+        if path == &entry.2 {
+            entry.1 = Some(model);
+        }
+    }
+    for (name, (has_unsafe, lib, lib_path)) in crates {
+        let Some(lib) = lib else { continue };
+        let has_attr = |needle: &str| lib.inner_attrs.iter().any(|a| a == needle);
+        if !has_unsafe && !has_attr("forbid(unsafe_code)") {
+            out.push(
+                Diagnostic::new(
+                    &lib_path,
+                    1,
+                    1,
+                    rules::UNSAFE_MISSING_FORBID,
+                    format!(
+                        "crate `{name}` has no unsafe code but lib.rs lacks \
+                         #![forbid(unsafe_code)] — none may creep in silently"
+                    ),
+                )
+                .suggest("add `#![forbid(unsafe_code)]` to the crate root"),
+            );
+        }
+        if has_unsafe && !has_attr("deny(unsafe_op_in_unsafe_fn)") {
+            out.push(
+                Diagnostic::new(
+                    &lib_path,
+                    1,
+                    1,
+                    rules::UNSAFE_MISSING_DENY,
+                    format!(
+                        "crate `{name}` uses unsafe but lib.rs lacks \
+                         #![deny(unsafe_op_in_unsafe_fn)]"
+                    ),
+                )
+                .suggest("add `#![deny(unsafe_op_in_unsafe_fn)]` to the crate root"),
+            );
+        }
+    }
+}

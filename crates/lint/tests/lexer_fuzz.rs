@@ -1,0 +1,125 @@
+//! Property fuzz for the lexer's two advertised invariants (see
+//! `lexer.rs` module docs): totality (never panics, any input) and
+//! round-trip (token spans are non-empty, contiguous, and tile the input
+//! exactly). Also drives [`FileModel::build`] over the same inputs, since
+//! every rule trusts the model not to choke on hostile sources.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use prep_lint::lexer::{lex, LineMap};
+use prep_lint::FileModel;
+
+/// Checks the tiling invariant over an arbitrary source.
+fn assert_tiles(src: &str) -> proptest::test_runner::TestCaseResult {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    let mut rebuilt = String::with_capacity(src.len());
+    for t in &tokens {
+        prop_assert_eq!(
+            t.start,
+            cursor,
+            "gap or overlap before token at {}",
+            t.start
+        );
+        prop_assert!(t.end > t.start, "empty token span at {}", t.start);
+        prop_assert!(t.end <= src.len(), "token runs past EOF");
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "token span splits a UTF-8 character at {}..{}",
+            t.start,
+            t.end
+        );
+        rebuilt.push_str(t.text(src));
+        cursor = t.end;
+    }
+    prop_assert_eq!(cursor, src.len(), "tokens do not reach EOF");
+    prop_assert_eq!(rebuilt.as_str(), src, "concatenated spans != source");
+
+    // LineMap agrees with the tiling: every span start maps to a valid
+    // 1-based position, monotonically non-decreasing in line.
+    let lines = LineMap::new(src);
+    let mut prev_line = 1u32;
+    for t in &tokens {
+        let (line, col) = lines.line_col(t.start);
+        prop_assert!(line >= prev_line, "line numbers went backwards");
+        prop_assert!(col >= 1, "columns are 1-based");
+        prev_line = line;
+    }
+    Ok(())
+}
+
+/// Rust-ish fragments, biased toward the constructs the lexer special-
+/// cases — including unterminated and degenerate forms.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "unsafe { *p }",
+    "// line comment\n",
+    "/* block /* nested */ */",
+    "/* unterminated",
+    "\"string with // not a comment\"",
+    "\"unterminated string\n",
+    "r#\"raw \" string\"#",
+    "r##\"raw with # inside\"##",
+    "br#\"bytes\"#",
+    "cr\"c raw\"",
+    "r#match",
+    "'a'",
+    "b'\\n'",
+    "'static",
+    "'\\u{1F980}'",
+    "0x_fe_u64",
+    "1_000.5e-3f32",
+    "Ordering::SeqCst",
+    "self.v.load(Ordering::Acquire)",
+    "// SAFETY: fixture\n",
+    "// lint:allow(atomic-ordering)\n",
+    "#[cfg(test)]",
+    "#![forbid(unsafe_code)]",
+    "let 🦀 = \"🦀\";",
+    "\\",
+    "\"",
+    "'",
+    "r#\"",
+    "r#",
+    "b",
+    "/",
+    "//",
+    "/*",
+    "\n\n",
+    "\t ",
+    "ключ",
+];
+
+proptest! {
+    /// Totality + round-trip over arbitrary (lossy-decoded) byte soup.
+    #[test]
+    fn arbitrary_bytes_lex_and_tile(bytes in vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_tiles(&src)?;
+        // The full model (comments, items, test spans) must also survive.
+        let _ = FileModel::build(&src);
+    }
+
+    /// Same invariants over concatenations of adversarial Rust fragments —
+    /// these hit the raw-string/char/lifetime/nesting paths far more often
+    /// than uniform bytes do.
+    #[test]
+    fn rust_like_fragments_lex_and_tile(picks in vec(0..FRAGMENTS.len(), 0..48)) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        assert_tiles(&src)?;
+        let _ = FileModel::build(&src);
+    }
+
+    /// Truncating any valid source at an arbitrary char boundary must still
+    /// lex totally (unterminated literals run to EOF by contract).
+    #[test]
+    fn truncation_never_panics(picks in vec(0..FRAGMENTS.len(), 0..16), cut in any::<u16>()) {
+        let full: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let mut at = (cut as usize) % (full.len() + 1);
+        while !full.is_char_boundary(at) {
+            at -= 1;
+        }
+        assert_tiles(&full[..at])?;
+    }
+}

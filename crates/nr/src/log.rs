@@ -32,6 +32,9 @@ use prep_sync::Waiter;
 /// slots on every other core polling them — false sharing that grows with
 /// thread count).
 struct Entry<O> {
+    // shared-line: the container is padded as a whole (Box<[CachePadded<
+    // Entry<O>>]> above) — the emptyBit intentionally shares its line with
+    // its own payload, and with nothing else.
     empty_bit: AtomicBool,
     op: UnsafeCell<MaybeUninit<O>>,
 }
@@ -95,18 +98,25 @@ impl<O: Clone> Log<O> {
     /// Current `logTail` (first unreserved index).
     #[inline]
     pub fn log_tail(&self) -> u64 {
+        // ord: Acquire pairs with the reservation CAS so a combiner that
+        // sees tail t also sees the reservations before t.
         self.log_tail.load(Ordering::Acquire)
     }
 
     /// Current `completedTail`.
     #[inline]
     pub fn completed_tail(&self) -> u64 {
+        // ord: Acquire pairs with advance_completed_tail's AcqRel CAS:
+        // seeing `t` means entries below `t` were published first.
         self.completed_tail.load(Ordering::Acquire)
     }
 
     /// Current `logMin`.
     #[inline]
     pub fn log_min(&self) -> u64 {
+        // ord: Acquire pairs with set_log_min's Release: a combiner that
+        // sees the new lowMark also sees the slow replica's progress that
+        // justified it (safe slot reuse).
         self.log_min.load(Ordering::Acquire)
     }
 
@@ -114,6 +124,8 @@ impl<O: Clone> Log<O> {
     /// entry does this, see `uc::NodeReplicated::update_or_wait_on_log_min`).
     #[inline]
     pub(crate) fn set_log_min(&self, v: u64) {
+        // ord: Release publishes the scan that computed the new lowMark
+        // (see log_min's Acquire).
         self.log_min.store(v, Ordering::Release);
     }
 
@@ -123,6 +135,10 @@ impl<O: Clone> Log<O> {
     #[inline]
     pub(crate) fn try_reserve(&self, expected_tail: u64, n: u64) -> bool {
         self.log_tail
+            // ord: AcqRel — Release publishes our view of logMin checks to
+            // later reservers; Acquire orders our writes into the reserved
+            // slots after earlier reservations. Failure re-reads the tail
+            // (Acquire) for the caller's retry.
             .compare_exchange(
                 expected_tail,
                 expected_tail + n,
@@ -136,6 +152,8 @@ impl<O: Clone> Log<O> {
     /// lap.
     #[inline]
     pub fn is_full(&self, index: u64) -> bool {
+        // ord: Acquire pairs with publish's Release — a full emptyBit makes
+        // the payload write visible before any read of the slot.
         self.entry(index).empty_bit.load(Ordering::Acquire) == self.full_flag(index)
     }
 
@@ -181,6 +199,8 @@ impl<O: Clone> Log<O> {
     pub(crate) unsafe fn publish(&self, index: u64) {
         self.entry(index)
             .empty_bit
+            // ord: Release publishes the payload written by write_payload;
+            // pairs with is_full's Acquire.
             .store(self.full_flag(index), Ordering::Release);
     }
 
@@ -216,8 +236,12 @@ impl<O: Clone> Log<O> {
     /// Advances `completedTail` to at least `to` via CAS-max. Returns `true`
     /// if this call performed an advance.
     pub(crate) fn advance_completed_tail(&self, to: u64) -> bool {
+        // ord: optimistic snapshot; the CAS below re-validates.
         let mut cur = self.completed_tail.load(Ordering::Relaxed);
         while cur < to {
+            // ord: AcqRel — Release so a reader that observes the new
+            // completedTail (Acquire in completed_tail) sees the published
+            // entries below it; failure just reloads the counter.
             match self.completed_tail.compare_exchange_weak(
                 cur,
                 to,

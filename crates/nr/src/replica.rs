@@ -86,6 +86,8 @@ impl<T: prep_seqds::SequentialObject> Replica<T> {
 
     #[inline]
     pub(crate) fn local_tail(&self) -> u64 {
+        // ord: Acquire pairs with the combiner's Release store — observing
+        // tail t implies the replica state reflects every entry below t.
         self.local_tail.load(Ordering::Acquire)
     }
 

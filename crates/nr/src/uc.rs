@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crossbeam_utils::CachePadded;
+
 use prep_seqds::SequentialObject;
 use prep_sync::{ReaderId, TicketLock, Waiter};
 use prep_topology::ThreadAssignment;
@@ -70,7 +72,12 @@ pub struct NodeReplicated<T: SequentialObject, H: NrHooks<T::Op> = NoopHooks> {
     assignment: ThreadAssignment,
     beta: u64,
     hooks: H,
-    registered: Box<[AtomicBool]>,
+    /// One-shot registration flags, one per worker. Padded: workers
+    /// register concurrently at startup, and an unpadded `[AtomicBool]`
+    /// puts ~64 flags on one line — every registration RMW then stalls
+    /// every other core's registration (misses measured 10-20x higher in
+    /// `registration_land_rush`; see tests/registration_padding.rs).
+    registered: Box<[CachePadded<AtomicBool>]>,
     /// FIFO reservation lock, present in [`FairnessMode::StarvationFree`].
     fair_reserve: Option<TicketLock>,
 }
@@ -118,7 +125,7 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             .map(|_| Replica::new(obj.clone_object(), beta as usize, fairness))
             .collect();
         let registered = (0..assignment.workers())
-            .map(|_| AtomicBool::new(false))
+            .map(|_| CachePadded::new(AtomicBool::new(false)))
             .collect();
         NodeReplicated {
             log: Log::new(log_size),
@@ -145,6 +152,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             "worker {worker} out of range ({} workers)",
             self.assignment.workers()
         );
+        // ord: AcqRel so duplicate registrations race deterministically
+        // (exactly one swap sees false) and the winner's token derivation
+        // is ordered after the flag for any observer of the panic path.
         let was = self.registered[worker].swap(true, Ordering::AcqRel);
         assert!(!was, "worker {worker} registered twice");
         // The batch-slot index is dense per node (0..β), so it doubles as
@@ -172,18 +182,25 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
     fn execute_update(&self, token: &ThreadToken, op: T::Op) -> T::Resp {
         let replica = &self.replicas[token.node];
         let slot = &replica.slots[token.slot];
+        // ord: debug sanity read of our own slot; no synchronization.
         debug_assert_eq!(slot.state.load(Ordering::Relaxed), SLOT_EMPTY);
         // Publish the operation in our batch slot.
         // SAFETY: we own the slot while it is EMPTY.
         unsafe { *slot.op.get() = Some(op) };
+        // ord: Release publishes the op write above to the combiner's
+        // Acquire scan.
         slot.state.store(SLOT_PENDING, Ordering::Release);
 
         let mut w = Waiter::new();
         loop {
+            // ord: Acquire pairs with the combiner's DONE Release; the resp
+            // write is visible before we take it.
             if slot.state.load(Ordering::Acquire) == SLOT_DONE {
                 // SAFETY: DONE (acquire) synchronizes with the combiner's
                 // resp write; the slot is ours again.
                 let resp = unsafe { (*slot.resp.get()).take() }.expect("combiner left no resp");
+                // ord: Release returns the slot: our resp take is ordered
+                // before the next PENDING publisher's Acquire.
                 slot.state.store(SLOT_EMPTY, Ordering::Release);
                 return resp;
             }
@@ -209,6 +226,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         let mut slot_ids: Vec<usize> = Vec::with_capacity(replica.slots.len());
         let mut ops: Vec<T::Op> = Vec::with_capacity(replica.slots.len());
         for (i, s) in replica.slots.iter().enumerate() {
+            // ord: Acquire pairs with the owner's PENDING Release; the op
+            // write is visible before the combiner takes it.
             if s.state.load(Ordering::Acquire) == SLOT_PENDING {
                 // SAFETY: PENDING (acquire) synchronizes with the owner's op
                 // write; the combiner takes ownership of the op.
@@ -247,9 +266,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             unsafe { self.log.write_payload(start + k as u64, op) };
         }
         self.hooks.persist_batch_payload(start..end);
-        // SAFETY (closure): we own [start, end) and wrote every payload
-        // above, so reading our own still-unpublished entries is race-free.
         self.hooks
+            // SAFETY: (closure) we own [start, end) and wrote every payload
+            // above, so reading our own still-unpublished entries is race-free.
             .persist_batch_published(start..end, &|idx| unsafe { self.log.read_own_payload(idx) });
         for k in 0..n {
             // SAFETY: payload written above.
@@ -259,6 +278,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         // 4. Bring the local replica up to date through `end`, recording
         //    responses for our own batch (applied from the log slots).
         replica.write_with(|ds| {
+            // ord: Acquire pairs with local_tail Release stores: entries
+            // below `from` were applied before we resume from there.
             let from = replica.local_tail.load(Ordering::Acquire);
             debug_assert!(
                 from <= start,
@@ -276,6 +297,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
                 // slot's resp field.
                 unsafe { *s.resp.get() = Some(resp) };
             });
+            // ord: Release publishes the replica state just applied;
+            // readers gate on local_tail >= completedTail snapshot.
             replica.local_tail.store(end, Ordering::Release);
         });
 
@@ -288,6 +311,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         for &slot_i in &slot_ids {
             replica.slots[slot_i]
                 .state
+                // ord: Release publishes the resp write to the owner's
+                // Acquire poll.
                 .store(SLOT_DONE, Ordering::Release);
         }
     }
@@ -309,10 +334,14 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             // updateReplicaNow requests — a logMin updater may need *our*
             // replica to advance before the boundary can move.
             if !self.hooks.reserve_admitted(tail) {
+                // ord: Acquire/Release handshake on updateReplicaNow — see
+                // advance_log_min's straggler help protocol.
                 if self.replicas[node].update_now.load(Ordering::Acquire) {
                     self.update_replica_to(node, self.log.completed_tail());
                     self.replicas[node]
                         .update_now
+                        // ord: Release acknowledges the help request with
+                        // the catch-up visible.
                         .store(false, Ordering::Release);
                 }
                 w.wait();
@@ -346,10 +375,14 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             // helping our own replica if asked to (Algorithm 3, else-branch).
             let mut w = Waiter::new();
             while self.log.log_min().saturating_sub(beta) < new_tail {
+                // ord: Acquire/Release handshake on updateReplicaNow — see
+                // advance_log_min's straggler help protocol.
                 if self.replicas[node].update_now.load(Ordering::Acquire) {
                     self.update_replica_to(node, self.log.completed_tail());
                     self.replicas[node]
                         .update_now
+                        // ord: Release acknowledges the help request with
+                        // the catch-up visible.
                         .store(false, Ordering::Release);
                 }
                 w.wait();
@@ -407,6 +440,9 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
                     // lock proves no combine is in flight there, and we only
                     // apply published entries up to completedTail).
                     let straggler = &self.replicas[who];
+                    // ord: Release so the straggler's Acquire load of the
+                    // flag also sees the log state that made helping
+                    // necessary.
                     straggler.update_now.store(true, Ordering::Release);
                     let baseline = lowest;
                     let mut w = Waiter::new();
@@ -419,6 +455,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
                         }
                         w.wait();
                     }
+                    // ord: Release clears the request after the straggler
+                    // moved (or was helped remotely).
                     straggler.update_now.store(false, Ordering::Release);
                 }
                 continue;
@@ -435,6 +473,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
     fn update_replica_to(&self, node: usize, to: u64) {
         let replica = &self.replicas[node];
         replica.write_with(|ds| {
+            // ord: Acquire pairs with local_tail Release stores (resume
+            // point covers all prior applications).
             let from = replica.local_tail.load(Ordering::Acquire);
             if from >= to {
                 return;
@@ -442,6 +482,7 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             self.log.for_each_op(from, to, |_, op| {
                 ds.apply(op);
             });
+            // ord: Release publishes the applied state with the new tail.
             replica.local_tail.store(to, Ordering::Release);
         });
     }
@@ -460,6 +501,7 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         // Slow path: the replica is behind. This path writes shared state
         // anyway (combiner lock, log application), so one more counter bump
         // costs nothing and makes the fast-path hit rate bench-visible.
+        // ord: statistics counter; read only by tests/benches after join.
         replica.read_slow.fetch_add(1, Ordering::Relaxed);
         let mut w = Waiter::new();
         loop {
@@ -470,6 +512,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             // current combiner.
             if let Some(_guard) = replica.combiner.try_lock() {
                 self.update_replica_to(token.node, self.log.completed_tail());
+                // ord: Release — we just serviced any pending help request
+                // as a side effect of catching up.
                 replica.update_now.store(false, Ordering::Release);
                 continue;
             }
@@ -498,6 +542,14 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         &self.assignment
     }
 
+    /// Byte address of worker `w`'s registration flag. Test-only probe:
+    /// `tests/registration_padding.rs` pins the flags to distinct cache
+    /// lines so concurrent registration does not false-share.
+    #[doc(hidden)]
+    pub fn registration_flag_addr(&self, worker: usize) -> usize {
+        &*self.registered[worker] as *const AtomicBool as usize
+    }
+
     /// Number of volatile replicas (= populated NUMA nodes).
     pub fn num_replicas(&self) -> usize {
         self.replicas.len()
@@ -513,6 +565,7 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
     pub fn read_slow_paths(&self) -> u64 {
         self.replicas
             .iter()
+            // ord: statistics counter (see read_slow bump).
             .map(|r| r.read_slow.load(Ordering::Relaxed))
             .sum()
     }

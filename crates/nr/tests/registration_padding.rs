@@ -1,0 +1,72 @@
+//! Regression tests for the registration-flag layout.
+//!
+//! `NodeReplicated.registered` used to be a `Box<[AtomicBool]>`: ~64 flags
+//! per cache line, so the one genuinely concurrent phase that touches them
+//! — every worker swapping its own flag at startup — serialized on a single
+//! line. The fix pads each flag to its own line
+//! (`Box<[CachePadded<AtomicBool>]>`); these tests pin the layout and the
+//! concurrent-registration behavior so the padding cannot silently regress.
+
+use std::sync::Arc;
+
+use prep_nr::NodeReplicated;
+use prep_seqds::recorder::Recorder;
+use prep_topology::Topology;
+
+/// Layout pin: adjacent registration flags must live ≥ one cache line
+/// apart. With the old unpadded `[AtomicBool]` every adjacent pair was
+/// 1 byte apart, so this fails immediately if the padding is dropped.
+#[test]
+fn registration_flags_never_share_a_cache_line() {
+    let workers = 8;
+    let asg = Topology::new(2, 5, 1).assign_workers(workers);
+    let nr = NodeReplicated::new(Recorder::new(), asg, 64);
+    let addrs: Vec<usize> = (0..workers).map(|w| nr.registration_flag_addr(w)).collect();
+    for pair in addrs.windows(2) {
+        let gap = pair[1].abs_diff(pair[0]);
+        assert!(
+            gap >= 64,
+            "registration flags {:#x} and {:#x} are {gap} bytes apart — \
+             they share a cache line (flags must be CachePadded)",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+/// The land rush the padding exists for: every worker registers at once.
+/// Each must come away with its own coherent token (correct worker index,
+/// node/slot matching the assignment) — concurrency must not corrupt the
+/// one-shot flags or hand two workers the same identity.
+#[test]
+fn registration_land_rush() {
+    let workers = 8;
+    let asg = Topology::new(2, 5, 1).assign_workers(workers);
+    let expected: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (asg.node_of(w), asg.slot_of(w)))
+        .collect();
+    let nr = Arc::new(NodeReplicated::new(Recorder::new(), asg, 64));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let nr = Arc::clone(&nr);
+            std::thread::spawn(move || {
+                let t = nr.register(w);
+                (w, t.worker(), t.node(), t.reader_slot())
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let (w, tw, node, rslot) = h.join().expect("registration panicked");
+        assert_eq!(tw, w, "token carries the wrong worker index");
+        assert_eq!(node, expected[w].0, "worker {w} routed to wrong node");
+        assert_eq!(rslot, expected[w].1, "worker {w} got wrong reader slot");
+    }
+
+    // The flags are one-shot: a late duplicate must still be caught after
+    // the rush (the AcqRel swap makes exactly one winner per flag).
+    let nr2 = Arc::clone(&nr);
+    let dup = std::thread::spawn(move || nr2.register(0)).join();
+    assert!(dup.is_err(), "duplicate registration must panic");
+}

@@ -132,6 +132,7 @@ impl SwappableAllocator {
 // contract; routing of dealloc by pointer range guarantees each pointer is
 // returned to the allocator that produced it.
 unsafe impl GlobalAlloc for SwappableAllocator {
+    // SAFETY: caller upholds GlobalAlloc's alloc contract (nonzero layout).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if persistent_allocation_enabled() {
             let p = global_arena().alloc(layout);
@@ -146,6 +147,8 @@ unsafe impl GlobalAlloc for SwappableAllocator {
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller passes a pointer this allocator returned, with its
+    // original layout; the range check below routes it home.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         if let Some(arena) = GLOBAL_ARENA.get() {
             if arena.contains(ptr) {
@@ -158,6 +161,8 @@ unsafe impl GlobalAlloc for SwappableAllocator {
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller passes a live allocation and its layout per the
+    // GlobalAlloc realloc contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_layout =
             Layout::from_size_align(new_size, layout.align()).expect("invalid realloc layout");

@@ -62,7 +62,11 @@ pub struct PArena {
     base: *mut u8,
     size: usize,
     inner: Mutex<Inner>,
+    // shared-line: advisory op counters, bumped at most once per alloc or
+    // dealloc — both of which already serialize on `inner`; the mutex, not
+    // the counter line, is the transfer bottleneck.
     allocs: AtomicU64,
+    // shared-line: see `allocs`.
     deallocs: AtomicU64,
 }
 
@@ -122,7 +126,9 @@ impl PArena {
     /// (allocations, deallocations) served so far.
     pub fn op_counts(&self) -> (u64, u64) {
         (
+            // ord: advisory statistics; no decision synchronizes on them.
             self.allocs.load(Ordering::Relaxed),
+            // ord: advisory statistics; no decision synchronizes on them.
             self.deallocs.load(Ordering::Relaxed),
         )
     }
@@ -178,6 +184,7 @@ impl PArena {
             hdr.write(block_off);
             hdr.add(1).write(class);
         }
+        // ord: advisory statistic (see op_counts).
         self.allocs.fetch_add(1, Ordering::Relaxed);
         user as *mut u8
     }
@@ -201,6 +208,7 @@ impl PArena {
         unsafe { self.write_word(block_off, head) };
         inner.free[class] = block_off;
         drop(inner);
+        // ord: advisory statistic (see op_counts).
         self.deallocs.fetch_add(1, Ordering::Relaxed);
     }
 

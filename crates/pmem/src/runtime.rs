@@ -43,6 +43,8 @@ pub struct PmemRuntime {
     /// write lock freezes the crash store, making the captured image a
     /// consistent cut of the persist order.
     cut_lock: RwLock<()>,
+    // shared-line: bumped once per simulated crash (a test-only, stop-the-
+    // world event); never touched on the persist hot path.
     crashes: AtomicU64,
     /// Persistence-ordering sanitizer trace (see `prep-psan`). Disabled by
     /// default: the whole tracing surface then costs one relaxed atomic
@@ -388,6 +390,8 @@ impl PmemRuntime {
             self.crash_sim,
             "capture_cut requires a crash-sim runtime (PmemRuntime::for_crash_tests)"
         );
+        // ord: crash-id dispenser; the cut itself is ordered by cut_lock,
+        // the counter only names it.
         let id = self.crashes.fetch_add(1, Ordering::Relaxed) + 1;
         let out = {
             let _w = self.cut_lock.write().expect("cut lock poisoned");
@@ -405,6 +409,7 @@ impl PmemRuntime {
 
     /// Total simulated crashes so far.
     pub fn crash_count(&self) -> u64 {
+        // ord: advisory statistic.
         self.crashes.load(Ordering::Relaxed)
     }
 }

@@ -22,9 +22,10 @@ use crossbeam_utils::CachePadded;
 /// Number of counter stripes; threads map onto them round-robin (mod).
 const STRIPES: usize = 16;
 
-/// One stripe's worth of counters. Plain (unpadded) atomics inside — the
-/// stripe as a whole is padded, and a thread owns the entire stripe, so
-/// fields sharing a line is free, not false sharing.
+/// One stripe's worth of counters.
+// shared-line: plain (unpadded) atomics inside on purpose — the stripe as
+// a whole is CachePadded and a thread owns its entire stripe, so fields
+// sharing a line is free, not false sharing.
 #[derive(Debug, Default)]
 struct StripeCells {
     clflush: AtomicU64,
@@ -47,6 +48,7 @@ fn my_stripe() -> usize {
     STRIPE.with(|c| {
         let mut v = c.get();
         if v == usize::MAX {
+            // ord: round-robin dispenser; only RMW atomicity matters.
             v = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
             c.set(v);
         }
@@ -108,43 +110,56 @@ impl PmemStats {
     fn sum(&self, field: impl Fn(&StripeCells) -> &AtomicU64) -> u64 {
         self.stripes
             .iter()
+            // ord: monotone counters — a relaxed sum is a valid observation
+            // at some instant between the first and last stripe read (see
+            // module docs); nothing synchronizes on it.
             .map(|s| field(s).load(Ordering::Relaxed))
             .sum()
     }
 
     pub(crate) fn count_clflush(&self) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().clflush.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_clflushopt(&self) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().clflushopt.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_clflushopt_n(&self, n: u64) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().clflushopt.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn count_sfence(&self) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().sfence.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_wbinvd(&self) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().wbinvd.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_bytes(&self, n: u64) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().bytes_persisted.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn count_snapshot(&self) {
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         self.mine().snapshots.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn count_checkpoint(&self, bytes: u64) {
         let mine = self.mine();
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         mine.checkpoints.fetch_add(1, Ordering::Relaxed);
+        // ord: per-thread striped statistic; summed relaxed (see `sum`).
         mine.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
         mine.checkpoint_lines
+            // ord: per-thread striped statistic; summed relaxed (see `sum`).
             .fetch_add(bytes.div_ceil(64), Ordering::Relaxed);
     }
 

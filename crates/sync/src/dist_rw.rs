@@ -137,18 +137,28 @@ impl<T> DistRwLock<T> {
     /// node, so readers must not starve it).
     #[inline]
     pub fn try_read(&self, id: ReaderId) -> Option<DistReadGuard<'_, T>> {
-        if self.writer.load(Ordering::SeqCst) != 0 {
+        // ord: early-out only -- this load is NOT part of the SB protocol
+        // (the mark + SeqCst recheck below is); Acquire is enough to see a
+        // finishing writer's section before we skip the mark.
+        if self.writer.load(Ordering::Acquire) != 0 {
             return None;
         }
         let slot = self.slot(id);
         // Mark our own line. fetch_add (not store) so the shared overflow
         // line counts its multiple concurrent readers; for a dedicated slot
         // it is an uncontended 0 → 1 transition on a line only we write.
+        // ord: SeqCst store side of the store-buffering pair: mark-then-
+        // check here vs flag-then-scan in `write`. With anything weaker,
+        // both sides can read the other's old value and admit a reader
+        // alongside an active writer.
         slot.fetch_add(1, Ordering::SeqCst);
         // Recheck: did a writer acquire between our first load and the
         // mark? (Waiting writers that have not acquired will scan and see
         // our mark — see module docs.)
+        // ord: SeqCst load side of the SB pair (see mark above).
         if self.writer.load(Ordering::SeqCst) & WRITER != 0 {
+            // ord: Release so the aborted attempt cannot leak past the
+            // unmark; pairs with the writer's drain scan.
             slot.fetch_sub(1, Ordering::Release);
             return None;
         }
@@ -159,15 +169,22 @@ impl<T> DistRwLock<T> {
     /// announce intent (so new readers hold off), win the writer flag, then
     /// scan every reader line until all are free.
     pub fn write(&self) -> DistWriteGuard<'_, T> {
+        // ord: advisory waiting mark; the flag CAS below is the
+        // synchronizing edge.
         self.writer.fetch_add(1, Ordering::Relaxed);
         let mut w = Waiter::new();
         loop {
+            // ord: optimistic snapshot; the CAS re-validates.
             let s = self.writer.load(Ordering::Relaxed);
             if s & WRITER == 0 {
                 debug_assert!(s & WAITING_MASK > 0, "lost our waiting mark");
                 // Convert our waiting mark into the active-writer bit.
                 if self
                     .writer
+                    // ord: SeqCst store side of the SB pair (flag-then-scan
+                    // vs the readers' mark-then-check); also Acquire-pairs
+                    // with the previous writer's Release drop. Failure just
+                    // loops.
                     .compare_exchange_weak(s, (s - 1) | WRITER, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok()
                 {
@@ -181,6 +198,10 @@ impl<T> DistRwLock<T> {
         // readers that marked after will see the flag and back out.
         for slot in self.readers.iter() {
             let mut w = Waiter::new();
+            // ord: SeqCst load side of the SB pair -- must not be reordered
+            // before the flag CAS, or a concurrent reader's mark could be
+            // missed while it misses our flag; also Acquire-pairs with
+            // reader unmark Releases so drained sections are visible.
             while slot.load(Ordering::SeqCst) != 0 {
                 w.wait();
             }
@@ -191,6 +212,7 @@ impl<T> DistRwLock<T> {
     /// Number of writers currently waiting or holding (advisory, for
     /// tests).
     pub fn writer_word(&self) -> u64 {
+        // ord: advisory, for tests.
         self.writer.load(Ordering::Relaxed)
     }
 
@@ -198,6 +220,7 @@ impl<T> DistRwLock<T> {
     /// then the shared overflow line (advisory, for tests instrumenting
     /// which state words a path touches).
     pub fn reader_line(&self, i: usize) -> u64 {
+        // ord: advisory, for tests.
         self.readers[i].load(Ordering::Relaxed)
     }
 
@@ -230,6 +253,8 @@ impl<T> std::ops::Deref for DistReadGuard<'_, T> {
 impl<T> Drop for DistReadGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the read section to the writer's drain
+        // scan.
         self.lock.slot(self.id).fetch_sub(1, Ordering::Release);
     }
 }
@@ -259,6 +284,8 @@ impl<T> std::ops::DerefMut for DistWriteGuard<'_, T> {
 impl<T> Drop for DistWriteGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the write section to the next acquirer's
+        // Acquire/SeqCst load of the writer word.
         self.lock.writer.fetch_and(!WRITER, Ordering::Release);
     }
 }

@@ -65,6 +65,9 @@ impl<T> PhaseFairRwLock<T> {
 
     /// Acquires the lock in read mode; waits for at most one writer phase.
     pub fn read(&self) -> PhaseFairReadGuard<'_, T> {
+        // ord: AcqRel — Release makes our entry visible to the writer's
+        // reader snapshot; Acquire orders our reads after the writer whose
+        // cleared flag byte we may observe here.
         let w = self.rin.fetch_add(RINC, Ordering::AcqRel) & WBITS;
         if w != 0 {
             // A writer is present: wait until the flag byte changes, i.e. the
@@ -72,6 +75,8 @@ impl<T> PhaseFairRwLock<T> {
             // over (phase bit flipped — we may then enter, having arrived
             // before it sampled `rin`). Either way: at most one phase.
             let mut waiter = Waiter::new();
+            // ord: Acquire pairs with the writer drop's flag clear — once
+            // the byte changes, the finished writer's section is visible.
             while self.rin.load(Ordering::Acquire) & WBITS == w {
                 waiter.wait();
             }
@@ -81,18 +86,25 @@ impl<T> PhaseFairRwLock<T> {
 
     /// Acquires the lock in write mode; writers are FIFO by ticket.
     pub fn write(&self) -> PhaseFairWriteGuard<'_, T> {
+        // ord: AcqRel totally orders ticket draws (writer FIFO).
         let ticket = self.win.fetch_add(1, Ordering::AcqRel);
         let mut waiter = Waiter::new();
         // Serialize writers.
+        // ord: Acquire pairs with the previous writer's baton pass in Drop.
         while self.wout.load(Ordering::Acquire) != ticket {
             waiter.wait();
         }
         // Publish presence + phase; snapshot readers that arrived before us.
         let flags = PRES | (ticket & PHID);
+        // ord: AcqRel — Release publishes the presence flag readers spin on;
+        // Acquire orders our snapshot after the entries of readers we must
+        // wait out.
         let arrived = self.rin.fetch_add(flags, Ordering::AcqRel) & !WBITS;
         // Wait for those readers to drain (later readers block on the flag
         // byte and never increment rout until they run).
         waiter.reset();
+        // ord: Acquire pairs with reader-drop rout bumps — when the counts
+        // match, every admitted reader's section happened-before ours.
         while self.rout.load(Ordering::Acquire) != arrived {
             waiter.wait();
         }
@@ -128,6 +140,9 @@ impl<T> std::ops::Deref for PhaseFairReadGuard<'_, T> {
 impl<T> Drop for PhaseFairReadGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release ends the read section for the writer's rout spin;
+        // AcqRel (not plain Release) keeps exits totally ordered so the
+        // drain count can never be observed out of step.
         self.lock.rout.fetch_add(RINC, Ordering::AcqRel);
     }
 }
@@ -160,7 +175,11 @@ impl<T> Drop for PhaseFairWriteGuard<'_, T> {
     fn drop(&mut self) {
         // Clear presence/phase flags so waiting readers proceed, then pass
         // the ticket baton to the next writer.
+        // ord: Release publishes the write section to readers spinning on
+        // the flag byte; Acquire orders the clear after our writes.
         self.lock.rin.fetch_and(!WBITS, Ordering::AcqRel);
+        // ord: baton pass to the next writer's wout spin (Release side);
+        // AcqRel keeps it after the flag clear above in the RMW order.
         self.lock.wout.fetch_add(1, Ordering::AcqRel);
     }
 }

@@ -77,6 +77,7 @@ impl<T> RwSpinLock<T> {
     /// Attempts to acquire the lock in read mode without blocking.
     #[inline]
     pub fn try_read(&self) -> Option<RwSpinReadGuard<'_, T>> {
+        // ord: optimistic snapshot only; the CAS below re-validates it.
         let s = self.state.load(Ordering::Relaxed);
         if s & (WRITER | WAITING_MASK) != 0 {
             return None;
@@ -84,6 +85,9 @@ impl<T> RwSpinLock<T> {
         debug_assert!(s & READER_MASK < READER_MASK, "reader count overflow");
         if self
             .state
+            // ord: Acquire pairs with the writer guard's Release drop, so a
+            // reader admitted here sees every write of the previous writer;
+            // failure is a retried snapshot, Relaxed suffices.
             .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
@@ -96,15 +100,21 @@ impl<T> RwSpinLock<T> {
     /// Acquires the lock in write (exclusive) mode, blocking politely.
     pub fn write(&self) -> RwSpinWriteGuard<'_, T> {
         // Announce intent so new readers hold off.
+        // ord: the waiting count only gates reader admission (an advisory
+        // counter); the data-protecting edge is the CAS below.
         self.state.fetch_add(WAITING_UNIT, Ordering::Relaxed);
         let mut w = Waiter::new();
         loop {
+            // ord: optimistic snapshot only; the CAS below re-validates it.
             let s = self.state.load(Ordering::Relaxed);
             if s & WRITER == 0 && s & READER_MASK == 0 {
                 // Convert one waiting slot into the active-writer bit.
                 let target = (s - WAITING_UNIT) | WRITER;
                 if self
                     .state
+                    // ord: Acquire pairs with reader/writer guard Release
+                    // drops — the new writer sees all prior critical
+                    // sections; failed CAS just loops.
                     .compare_exchange_weak(s, target, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
                 {
@@ -118,12 +128,15 @@ impl<T> RwSpinLock<T> {
     /// Attempts to acquire the lock in write mode without blocking.
     #[inline]
     pub fn try_write(&self) -> Option<RwSpinWriteGuard<'_, T>> {
+        // ord: optimistic snapshot only; the CAS below re-validates it.
         let s = self.state.load(Ordering::Relaxed);
         if s & WRITER != 0 || s & READER_MASK != 0 {
             return None;
         }
         if self
             .state
+            // ord: Acquire pairs with guard Release drops (see `write`);
+            // failure returns None, no ordering needed.
             .compare_exchange(s, s | WRITER, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
@@ -135,6 +148,8 @@ impl<T> RwSpinLock<T> {
 
     /// Returns the number of readers currently holding the lock (advisory).
     pub fn reader_count(&self) -> u64 {
+        // ord: advisory statistic; callers make no decisions that need to
+        // synchronize with guard hand-off.
         self.state.load(Ordering::Relaxed) & READER_MASK
     }
 
@@ -167,6 +182,8 @@ impl<T> std::ops::Deref for RwSpinReadGuard<'_, T> {
 impl<T> Drop for RwSpinReadGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release ends the read-side critical section; the next
+        // writer's Acquire CAS orders its writes after our reads.
         self.lock.state.fetch_sub(1, Ordering::Release);
     }
 }
@@ -197,6 +214,8 @@ impl<T> std::ops::DerefMut for RwSpinWriteGuard<'_, T> {
 impl<T> Drop for RwSpinWriteGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the critical section's writes to the next
+        // Acquire CAS (reader or writer admission).
         self.lock.state.fetch_and(!WRITER, Ordering::Release);
     }
 }

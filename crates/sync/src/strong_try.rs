@@ -43,6 +43,8 @@ fn thread_ordinal() -> usize {
     ORDINAL.with(|c| {
         let mut v = c.get();
         if v == usize::MAX {
+            // ord: unique-id dispenser; atomicity of the RMW is all that
+            // matters, nothing else is published with it.
             v = NEXT.fetch_add(1, Ordering::Relaxed);
             c.set(v);
         }
@@ -100,6 +102,7 @@ impl<T> StrongTryRwLock<T> {
 
     /// Readers currently indicated across all stripes (advisory).
     pub fn reader_count(&self) -> u64 {
+        // ord: advisory statistic; no decision synchronizes on it.
         self.stripes.iter().map(|s| s.load(Ordering::Relaxed)).sum()
     }
 
@@ -111,6 +114,10 @@ impl<T> StrongTryRwLock<T> {
     pub fn try_write(&self) -> Option<StrongTryWriteGuard<'_, T>> {
         if self
             .writer
+            // ord: SeqCst store side of the store-buffering pair (flag-
+            // then-scan vs the readers' indicate-then-check); also
+            // Acquire-pairs with the previous writer's Release drop.
+            // Failure returns None, no ordering needed.
             .compare_exchange(0, WRITER, Ordering::SeqCst, Ordering::Relaxed)
             .is_err()
         {
@@ -119,7 +126,11 @@ impl<T> StrongTryRwLock<T> {
         // Flag is up: new readers back off. Any indicator still raised is a
         // reader that acquired before our flag — a genuine conflict.
         for s in self.stripes.iter() {
+            // ord: SeqCst load side of the SB pair -- must not hoist above
+            // the flag CAS, or we could miss a reader whose indicator
+            // missed our flag.
             if s.load(Ordering::SeqCst) != 0 {
+                // ord: Release backs the flag out without leaking the probe.
                 self.writer.fetch_and(!WRITER, Ordering::Release);
                 return None;
             }
@@ -134,13 +145,21 @@ impl<T> StrongTryRwLock<T> {
     /// raised by an in-flight `try_write` probe — causes failure.
     #[inline]
     pub fn try_read(&self) -> Option<StrongTryReadGuard<'_, T>> {
-        if self.writer.load(Ordering::SeqCst) != 0 {
+        // ord: early-out only -- NOT part of the SB protocol (the
+        // indicate + SeqCst recheck below is); Acquire suffices to order
+        // us after a finishing writer we observe here.
+        if self.writer.load(Ordering::Acquire) != 0 {
             return None;
         }
         let stripe = thread_ordinal() % self.stripes.len();
+        // ord: SeqCst store side of the SB pair: indicate-then-check vs
+        // the writer's flag-then-scan.
         self.stripes[stripe].fetch_add(1, Ordering::SeqCst);
+        // ord: SeqCst load side of the SB pair (see indicate above).
         if self.writer.load(Ordering::SeqCst) != 0 {
             // A writer raised its flag between our two loads; defer to it.
+            // ord: Release so the aborted attempt cannot leak past the
+            // unindicate.
             self.stripes[stripe].fetch_sub(1, Ordering::Release);
             return None;
         }
@@ -194,6 +213,8 @@ impl<T> std::ops::Deref for StrongTryReadGuard<'_, T> {
 impl<T> Drop for StrongTryReadGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the read section to the writer's
+        // indicator scan.
         self.lock.stripes[self.stripe].fetch_sub(1, Ordering::Release);
     }
 }
@@ -224,6 +245,8 @@ impl<T> std::ops::DerefMut for StrongTryWriteGuard<'_, T> {
 impl<T> Drop for StrongTryWriteGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the write section to the next acquirer's
+        // Acquire/SeqCst load of the writer word.
         self.lock.writer.fetch_and(!WRITER, Ordering::Release);
     }
 }

@@ -28,8 +28,12 @@ impl TicketLock {
 
     /// Acquires the lock; strictly FIFO among contenders.
     pub fn lock(&self) -> TicketGuard<'_> {
+        // ord: AcqRel makes ticket draws totally ordered among contenders
+        // (each RMW sees the previous one), which is the FIFO guarantee.
         let ticket = self.next.fetch_add(1, Ordering::AcqRel);
         let mut w = Waiter::new();
+        // ord: Acquire pairs with the baton-pass AcqRel in Drop, ordering
+        // this holder's section after the previous holder's writes.
         while self.serving.load(Ordering::Acquire) != ticket {
             w.wait();
         }
@@ -39,9 +43,14 @@ impl TicketLock {
     /// Attempts to acquire without waiting (succeeds only when nobody holds
     /// or waits).
     pub fn try_lock(&self) -> Option<TicketGuard<'_>> {
+        // ord: Acquire pairs with the baton-pass in Drop; seeing serving == s
+        // means the previous section's writes are visible before ours.
         let serving = self.serving.load(Ordering::Acquire);
         if self
             .next
+            // ord: success AcqRel keeps the ticket draw in the same total
+            // RMW order `lock` relies on; failure Acquire still orders the
+            // (discarded) observation for the None path.
             .compare_exchange(serving, serving + 1, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
@@ -60,6 +69,9 @@ pub struct TicketGuard<'a> {
 
 impl Drop for TicketGuard<'_> {
     fn drop(&mut self) {
+        // ord: the baton pass — Release publishes our critical section to
+        // the next ticket holder's Acquire spin; Acquire keeps the pass
+        // itself ordered after our reads.
         self.lock.serving.fetch_add(1, Ordering::AcqRel);
     }
 }

@@ -50,11 +50,16 @@ impl<T> TryLock<T> {
     /// ping-ponging between would-be combiners.
     #[inline]
     pub fn try_lock(&self) -> Option<TryLockGuard<'_, T>> {
+        // ord: test-and-test-and-set pre-filter; losing combiners bail, and
+        // winners are validated by the CAS below.
         if self.locked.load(Ordering::Relaxed) {
             return None;
         }
         if self
             .locked
+            // ord: Acquire pairs with the Release store in Drop — the new
+            // combiner sees the previous combiner's batch state; failure
+            // means someone else combines, no ordering needed.
             .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
         {
@@ -69,6 +74,7 @@ impl<T> TryLock<T> {
     /// Purely advisory: the answer may be stale by the time it is observed.
     #[inline]
     pub fn is_locked(&self) -> bool {
+        // ord: advisory by contract (see doc); stale answers are fine.
         self.locked.load(Ordering::Relaxed)
     }
 
@@ -111,6 +117,8 @@ impl<T> std::ops::DerefMut for TryLockGuard<'_, T> {
 impl<T> Drop for TryLockGuard<'_, T> {
     #[inline]
     fn drop(&mut self) {
+        // ord: Release publishes the combiner's writes to the next winner's
+        // Acquire CAS.
         self.lock.locked.store(false, Ordering::Release);
     }
 }
