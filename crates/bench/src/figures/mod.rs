@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod psan;
 pub mod readscale;
+pub mod serve;
 pub mod shard;
 
 use std::sync::Arc;

@@ -7,6 +7,12 @@ use prep_pmem::{PmemRuntime, PmemStatsSnapshot};
 
 use crate::targets::CellResult;
 
+/// The HDR-style log-bucketed histogram the serve figure reports
+/// percentiles from — re-exported so figure drivers and external callers
+/// aggregate latency through one type (it merges, so per-connection
+/// histograms fold into a run-wide one).
+pub use prep_loadgen::LatencyHistogram;
+
 /// Persistence accounting for one measurement phase: snapshots a runtime's
 /// counters at construction and yields the per-field delta on demand via
 /// [`PmemStatsSnapshot::delta`]. Replaces the hand-rolled

@@ -307,10 +307,9 @@ where
 {
     let asg = topo.assign_workers(threads);
     let store = ShardedStore::with_per_shard_runtimes(obj, shards, asg, cfg, key_fn);
-    let phases: Vec<Phase> = (0..shards)
-        .map(|s| Phase::start(store.shard(s).runtime()))
-        .collect();
-    let tails_before = store.completed_tails();
+    // One StoreMetrics snapshot replaces the former per-shard Phase + tail
+    // bookkeeping; the same struct backs prep-serve's ADMIN STATS verb.
+    let before = store.metrics();
     let store_ref = &store;
     let m = measure(threads, Duration::from_secs_f64(secs), move |w| {
         let token = store_ref.register(w);
@@ -319,14 +318,13 @@ where
             store_ref.execute(&token, ops());
         })
     });
-    let lanes = store
-        .completed_tails()
-        .into_iter()
-        .zip(tails_before)
-        .zip(&phases)
-        .map(|((after, before), phase)| ShardLane {
-            updates: after - before,
-            stats: phase.finish(),
+    let delta = store.metrics().delta(&before);
+    let lanes = delta
+        .shards
+        .iter()
+        .map(|s| ShardLane {
+            updates: s.completed_tail,
+            stats: s.stats,
         })
         .collect();
     ShardCell { m, shards: lanes }

@@ -73,6 +73,12 @@ pub(crate) struct HookState<O: Clone> {
     pub(crate) p_active: CachePadded<AtomicU64>,
     /// Largest completedTail known to be durable (durable mode).
     pub(crate) persisted_ct: CachePadded<AtomicU64>,
+    /// Largest localTail covered by a *published* checkpoint (the stable
+    /// replica's tail at the moment its selector became durable). Unlike
+    /// `p_tails` — which track *applied* state and can run ahead of any
+    /// checkpoint on the active replica — this only advances after the
+    /// swap, so it is a crash-survivability watermark in both modes.
+    pub(crate) durable_tail: CachePadded<AtomicU64>,
     /// Shutdown flag for the persistence thread and the reserve gate.
     pub(crate) stop: AtomicBool,
     /// NVM image of `d_completedTail` (durable mode).
@@ -105,6 +111,7 @@ impl<O: Clone> HookState<O> {
             ],
             p_active: CachePadded::new(AtomicU64::new(0)),
             persisted_ct: CachePadded::new(AtomicU64::new(0)),
+            durable_tail: CachePadded::new(AtomicU64::new(0)),
             stop: AtomicBool::new(false),
             ct_cell: PersistentCell::new(0),
             p_active_cell: PersistentCell::new(0),

@@ -234,6 +234,17 @@ impl<T: SequentialObject> PersistenceTask<T> {
                     "PersistenceTask::swap",
                 );
                 self.state.p_active_cell.record(&rt, new_active);
+                // The checkpoint just published covers [0, local_tail): any
+                // crash from here on recovers at least this prefix. This is
+                // the watermark durable-ack release points wait on.
+                self.state
+                    .durable_tail
+                    // ord: AcqRel — Release publishes the checkpoint behind
+                    // the watermark to durable_watermark()'s Acquire
+                    // readers; Acquire keeps competing maxima ordered (only
+                    // this thread writes it today, but fetch_max is how it
+                    // stays monotone).
+                    .fetch_max(rep.local_tail, Ordering::AcqRel);
                 // Advance the boundary to exactly ε past what was just
                 // persisted. This is the invariant the ε + β − 1 loss bound
                 // rests on: `flushBoundary ≤ stableTail + ε` at all times,

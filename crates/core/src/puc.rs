@@ -185,6 +185,79 @@ impl<T: SequentialObject> PrepUc<T> {
         self.state.flush_boundary.load(Ordering::Acquire)
     }
 
+    /// Largest log index `w` such that every completed operation at index
+    /// `< w` survives a crash taken *now*.
+    ///
+    /// In buffered mode this is the latest *published* checkpoint's tail
+    /// (the stable replica at the moment its selector was persisted) —
+    /// deliberately not `p_tails`, which track applied-but-unflushed state
+    /// on the active replica. In durable mode the persisted `completedTail`
+    /// also covers the log suffix, so the watermark is the max of the two.
+    /// Service layers release durable acks once this passes an operation's
+    /// covering `completedTail` (§2.2 buffered durable linearizability:
+    /// this is the construction's sync point).
+    pub fn durable_watermark(&self) -> u64 {
+        // ord: Acquire pairs with the persistence thread's AcqRel fetch_max
+        // after the selector persist — watermark w implies the checkpoint
+        // covering [0, w) is durable.
+        let ckpt = self.state.durable_tail.load(Ordering::Acquire);
+        match self.config.durability {
+            crate::config::DurabilityLevel::Durable => {
+                // ord: Acquire pairs with ensure_completed_tail_durable's
+                // AcqRel fetch_max — ct durable implies its log prefix is too.
+                ckpt.max(self.state.persisted_ct.load(Ordering::Acquire))
+            }
+            crate::config::DurabilityLevel::Buffered => ckpt,
+        }
+    }
+
+    /// Asks the persistence thread to checkpoint *now* instead of waiting
+    /// for the flush boundary to be reached naturally (up to ε more ops).
+    ///
+    /// Lowers the flush boundary to the active replica's applied tail — the
+    /// same mechanism `help_persistent_straggler` uses, and safe for the
+    /// same reason: persisting earlier than ε only tightens the loss bound.
+    /// No-op when the watermark already covers `completedTail`. Durable-ack
+    /// release points call this while waiting so a lightly loaded server
+    /// does not hold durable responses for a full ε window.
+    pub fn nudge_checkpoint(&self) {
+        if self.durable_watermark() >= self.completed_tail() {
+            return;
+        }
+        // ord: Acquire pairs with the persistence thread's swap Release so
+        // the tail read below belongs to the replica we think is active.
+        let active = self.state.p_active.load(Ordering::Acquire) as usize;
+        // ord: Acquire pairs with the tail's Release store.
+        let target = self.state.p_tails[active].load(Ordering::Acquire).max(1);
+        self.state
+            .flush_boundary
+            // ord: AcqRel — Release so the persistence thread's Acquire of
+            // the lowered boundary sees the state that motivated it;
+            // Acquire orders racing lowerings (fetch_min keeps only the
+            // tightest).
+            .fetch_min(target, Ordering::AcqRel);
+    }
+
+    /// Blocks until every operation completed *before this call* is crash
+    /// survivable (`durable_watermark() >= completedTail`), nudging the
+    /// persistence thread along.
+    ///
+    /// Intended for drain/shutdown paths after workers have stopped
+    /// submitting; with concurrent writers it chases a moving tail and
+    /// returns as soon as it observes a watermark covering some recent
+    /// `completedTail` read.
+    pub fn quiesce_persistence(&self) {
+        let mut w = prep_sync::Waiter::new();
+        loop {
+            let ct = self.completed_tail();
+            if self.durable_watermark() >= ct {
+                return;
+            }
+            self.nudge_checkpoint();
+            w.wait();
+        }
+    }
+
     /// The persistent replicas' localTails (volatile mirror).
     pub fn persistent_tails(&self) -> [u64; 2] {
         [
@@ -312,6 +385,74 @@ mod tests {
             t0.elapsed() < std::time::Duration::from_secs(5),
             "persistence thread failed to stop"
         );
+    }
+
+    #[test]
+    fn quiesce_covers_all_completed_ops_buffered() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(
+            HashMap::new(),
+            asg,
+            cfg(DurabilityLevel::Buffered).with_epsilon(64),
+        );
+        let t = prep.register(0);
+        // Fewer ops than ε: without a nudge the persistence thread would
+        // never checkpoint (boundary = 64 is unreachable at tail 10).
+        for k in 0..10u64 {
+            prep.execute(&t, MapOp::Insert { key: k, value: k });
+        }
+        assert_eq!(prep.completed_tail(), 10);
+        prep.quiesce_persistence();
+        assert!(
+            prep.durable_watermark() >= 10,
+            "watermark {} must cover completedTail 10",
+            prep.durable_watermark()
+        );
+    }
+
+    #[test]
+    fn durable_mode_watermark_tracks_completed_tail() {
+        let asg = Topology::small().assign_workers(1);
+        let prep = PrepUc::new(HashMap::new(), asg, cfg(DurabilityLevel::Durable));
+        let t = prep.register(0);
+        for k in 0..20u64 {
+            prep.execute(&t, MapOp::Insert { key: k, value: k });
+        }
+        // Durable mode persists completedTail before execute returns, so
+        // the watermark needs no quiesce to cover it.
+        assert!(prep.durable_watermark() >= 20);
+    }
+
+    #[test]
+    fn watermark_never_exceeds_completed_tail() {
+        let asg = Topology::small().assign_workers(2);
+        let prep = Arc::new(PrepUc::new(
+            Recorder::new(),
+            asg,
+            cfg(DurabilityLevel::Buffered).with_epsilon(4),
+        ));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let prep = Arc::clone(&prep);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let t = prep.register(0);
+                for i in 0..400u64 {
+                    prep.execute(&t, RecorderOp::Record(i));
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+        // Under a racing writer the watermark must stay a *lower* bound on
+        // durability: it may lag completedTail but never pass it.
+        while !stop.load(Ordering::Acquire) {
+            let wm = prep.durable_watermark();
+            let ct = prep.completed_tail();
+            assert!(wm <= ct, "watermark {wm} overtook completedTail {ct}");
+        }
+        writer.join().unwrap();
+        prep.quiesce_persistence();
+        assert!(prep.durable_watermark() >= 400);
     }
 
     #[test]

@@ -222,9 +222,11 @@ impl Default for Config {
             exclude: vec!["crates/lint/tests".into()],
             // The ordering audit covers every hot-path crate the paper's
             // protocol runs through (ISSUE 5: nr, sync, pmem, core, cx,
-            // shard).
+            // shard) plus the network service, whose pipeline state
+            // machine (queue depths, drain barriers, ack watermarks) is
+            // all explicit atomics.
             ordering: RuleScope {
-                paths: hot(&["nr", "sync", "pmem", "core", "cx", "shard"]),
+                paths: hot(&["nr", "sync", "pmem", "core", "cx", "shard", "serve"]),
                 allow: vec![],
             },
             // Padding discipline where §5.1-style false sharing bites:
@@ -261,6 +263,11 @@ impl Default for Config {
                     name: "instant-now".into(),
                     pattern: "Instant::now".into(),
                     scope: RuleScope {
+                        // prep-serve deliberately has no allow entry: the
+                        // server must stay Instant-free (its latency story
+                        // is the simulated-NVM cost model). The loadgen
+                        // timer (crates/loadgen/src/clock.rs) is in scope
+                        // too and carries site-level reasoned allows.
                         paths: vec!["crates".into()],
                         allow: vec!["crates/pmem/src/latency.rs".into(), "crates/bench".into()],
                     },
@@ -282,6 +289,8 @@ impl Default for Config {
                             "crates/core/src".into(),
                             "crates/cx/src".into(),
                             "crates/shard/src".into(),
+                            "crates/serve/src".into(),
+                            "crates/loadgen/src".into(),
                         ],
                         allow: vec!["crates/nr/src/global_lock.rs".into()],
                     },
@@ -303,6 +312,8 @@ impl Default for Config {
                             "crates/core/src".into(),
                             "crates/cx/src".into(),
                             "crates/shard/src".into(),
+                            "crates/serve/src".into(),
+                            "crates/loadgen/src".into(),
                         ],
                         allow: vec![],
                     },
@@ -325,6 +336,8 @@ impl Default for Config {
                             "crates/cx/src".into(),
                             "crates/shard/src".into(),
                             "crates/pmem/src".into(),
+                            "crates/serve/src".into(),
+                            "crates/loadgen/src".into(),
                         ],
                         allow: vec![
                             "crates/sync/src/waiter.rs".into(),

@@ -1,0 +1,221 @@
+//! HDR-style log-bucketed latency histogram.
+//!
+//! Values (nanoseconds) land in buckets whose width grows geometrically:
+//! each power-of-two range splits into `SUB = 32` linear sub-buckets, so
+//! every recorded value is reproducible to within ~3% relative error while
+//! the whole 64-bit range fits in a few kilobytes of counters. That is the
+//! property a tail-latency benchmark needs — p999 of a multi-millisecond
+//! distribution resolved without pre-declaring a range, merges that are
+//! plain vector adds, and no per-sample allocation on the hot path.
+
+/// log2 of the sub-bucket count per power-of-two range.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two range (relative error ≤ 1/SUB).
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket groups: values below 2^SUB_BITS are exact (group 0), then one
+/// group per remaining bit position.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+
+/// A mergeable log-bucketed histogram of `u64` samples (latency in ns).
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; GROUPS * SUB],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let group = (msb - SUB_BITS + 1) as usize;
+        let sub = ((value >> (msb - SUB_BITS)) as usize) - SUB;
+        group * SUB + sub
+    }
+
+    /// Upper edge of bucket `idx` — the reported quantile value, so
+    /// percentiles err conservatively (never under-report a latency).
+    fn upper_edge(idx: usize) -> u64 {
+        let group = idx / SUB;
+        let sub = idx % SUB;
+        if group == 0 {
+            return sub as u64;
+        }
+        let msb = group as u32 + SUB_BITS - 1;
+        // The topmost bucket's upper edge is 2^64; saturate instead of
+        // overflowing the shift (callers clamp to the observed max anyway).
+        let wide = ((SUB + sub + 1) as u128) << (msb - SUB_BITS);
+        wide.min(u64::MAX as u128) as u64
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (exact, not bucketed); 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Arithmetic mean (exact sum over bucketed count); 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / self.count as u128) as u64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (e.g. `0.999` for p999):
+    /// the upper edge of the bucket holding the `ceil(q·count)`-th sample,
+    /// clamped to the exact observed maximum. 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_edge(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("p50", &self.percentile(0.50))
+            .field("p99", &self.percentile(0.99))
+            .field("p999", &self.percentile(0.999))
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        // Below 2^SUB_BITS every value has its own bucket.
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.max(), SUB as u64 - 1);
+        assert_eq!(h.count(), SUB as u64);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i * 137);
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        let p999 = h.percentile(0.999);
+        assert!(p50 <= p99 && p99 <= p999 && p999 <= h.max());
+        // ~3% relative-error bound at each quantile.
+        let expect = |q: f64| (10_000.0 * q) as u64 * 137;
+        for (got, want) in [
+            (p50, expect(0.5)),
+            (p99, expect(0.99)),
+            (p999, expect(0.999)),
+        ] {
+            let err = got.abs_diff(want) as f64 / want as f64;
+            assert!(err < 0.05, "quantile off by {err}: got {got}, want ~{want}");
+        }
+    }
+
+    #[test]
+    fn merge_is_sample_union() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            let v = i * i + 17;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.mean(), whole.mean());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow_the_index() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,121 @@
+//! Key-popularity distributions for the load generator.
+//!
+//! Uniform and zipfian mixes over a dense key space `[0, n)`. The zipfian
+//! sampler precomputes the CDF once (O(n) build, O(log n) sample via
+//! binary search) — exact, allocation-free sampling on the hot path, which
+//! matters because the open-loop engine samples a key per scheduled
+//! arrival. Dense ranks map straight to keys: the server's shard router
+//! already mixes bits (`splitmix64`), so rank 0 being the hottest key does
+//! not concentrate load on shard 0.
+
+use rand::{Rng, RngCore};
+
+/// Which popularity curve to draw keys from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyMix {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent `theta` (YCSB-style skew at `theta = 0.99`).
+    Zipfian {
+        /// The skew exponent; larger = more skew toward low ranks.
+        theta: f64,
+    },
+}
+
+/// A sampler over keys `[0, n)` with a fixed [`KeyMix`].
+pub struct KeySampler {
+    n: u64,
+    /// Cumulative probability per rank; `None` for the uniform mix.
+    cdf: Option<Vec<f64>>,
+}
+
+impl KeySampler {
+    /// Builds the sampler (precomputing the zipfian CDF when needed).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(mix: KeyMix, n: u64) -> Self {
+        assert!(n > 0, "key space must be non-empty");
+        let cdf = match mix {
+            KeyMix::Uniform => None,
+            KeyMix::Zipfian { theta } => {
+                let mut weights: Vec<f64> = (0..n)
+                    .map(|rank| 1.0 / ((rank + 1) as f64).powf(theta))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in weights.iter_mut() {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                // Guard the tail against accumulated rounding: the final
+                // entry must cover every sample in [0, 1).
+                if let Some(last) = weights.last_mut() {
+                    *last = 1.0;
+                }
+                Some(weights)
+            }
+        };
+        KeySampler { n, cdf }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+        match &self.cdf {
+            None => rng.gen_range(0..self.n),
+            Some(cdf) => {
+                let u: f64 = rng.gen();
+                // partition_point: first rank whose cumulative mass covers u.
+                cdf.partition_point(|&c| c < u) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_the_space_evenly() {
+        let s = KeySampler::new(KeyMix::Uniform, 16);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0u64; 16];
+        for _ in 0..16_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((600..1400).contains(&c), "uniform bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn zipfian_skews_toward_low_ranks() {
+        let s = KeySampler::new(KeyMix::Zipfian { theta: 0.99 }, 1000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut head = 0u64;
+        const N: u64 = 20_000;
+        for _ in 0..N {
+            if s.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 over 1000 keys the top-10 ranks carry ~39% of
+        // the mass; uniform would give 1%.
+        let frac = head as f64 / N as f64;
+        assert!(frac > 0.25, "zipf head mass {frac} too small");
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        for mix in [KeyMix::Uniform, KeyMix::Zipfian { theta: 1.2 }] {
+            let s = KeySampler::new(mix, 37);
+            let mut rng = SmallRng::seed_from_u64(3);
+            for _ in 0..5000 {
+                assert!(s.sample(&mut rng) < 37);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # prep-loadgen — open-loop load generation for prep-serve
+//!
+//! Three pieces, each deliberately small:
+//!
+//! * [`hist`] — an HDR-style log-bucketed latency histogram (~3% relative
+//!   error, mergeable, allocation-free recording) for p50/p99/p999.
+//! * [`keys`] — uniform and zipfian key-popularity samplers.
+//! * [`run`] — the open-loop engine: fixed arrival schedules derived from
+//!   the offered rate, latency measured from *scheduled* send time
+//!   (coordinated-omission-free), `RETRY` counted as shed load, optional
+//!   crash injection with time-to-first-response measurement.
+//!
+//! All wall-clock access lives in [`clock`]; the rest of the crate —
+//! like the server it drives — never touches `Instant` directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod hist;
+pub mod keys;
+pub mod run;
+
+pub use hist::LatencyHistogram;
+pub use keys::{KeyMix, KeySampler};
+pub use run::{CrashProbe, RunConfig, RunReport};

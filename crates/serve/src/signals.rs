@@ -1,0 +1,70 @@
+//! SIGTERM / SIGINT → graceful drain, with no external dependencies.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so this module binds the
+//! two C symbols it needs directly (they are already linked through std).
+//! The handler does the only thing an async-signal-safe handler may do
+//! here: store to a static atomic. The server's control thread polls the
+//! flag and runs the ordinary drain path — the same one `ADMIN SHUTDOWN`
+//! takes — so a `kill -TERM` and a wire-level shutdown are byte-for-byte
+//! the same code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX signal numbers (Linux).
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// `signal(2)`. Handler is passed as a `usize` to avoid depending on a
+    /// libc crate for the `sighandler_t` typedef; on every Linux ABI this
+    /// workspace targets it is a plain function pointer.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Set by the handler; observed by [`shutdown_requested`].
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// The signal handler: one atomic store, nothing else (async-signal-safe).
+extern "C" fn on_signal(_signum: i32) {
+    // ord: Release pairs with shutdown_requested's Acquire; the only data
+    // published is the flag itself.
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+/// Installs the handler for `SIGINT` and `SIGTERM`.
+///
+/// Call once from the binary's main; safe to call again (idempotent).
+pub fn install() {
+    // SAFETY: `signal` is the POSIX libc function; `on_signal` is an
+    // `extern "C" fn(i32)` whose address fits `sighandler_t`, and the
+    // handler body is async-signal-safe (a single atomic store).
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// True once a shutdown signal has been delivered (or simulated).
+pub fn shutdown_requested() -> bool {
+    // ord: Acquire pairs with the handler's Release store.
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+/// Raises the flag without a signal — lets tests (and `ADMIN SHUTDOWN`
+/// fallout paths) exercise the exact signal-drain code.
+pub fn request_shutdown() {
+    // ord: Release — same contract as the real handler.
+    SHUTDOWN.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_request_sets_flag() {
+        install();
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

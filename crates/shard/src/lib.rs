@@ -79,8 +79,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod metrics;
 pub mod router;
 mod store;
 
+pub use metrics::{ShardMetrics, StoreMetrics};
 pub use router::{shard_index, ShardRouter};
 pub use store::{ShardToken, ShardedCrashImage, ShardedStore};

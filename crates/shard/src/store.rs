@@ -8,6 +8,7 @@ use prep_seqds::SequentialObject;
 use prep_topology::ThreadAssignment;
 use prep_uc::{CrashImage, PrepConfig, PrepUc, ThreadToken};
 
+use crate::metrics::{ShardMetrics, StoreMetrics};
 use crate::router::ShardRouter;
 
 /// Directory root naming the persisted shard count.
@@ -262,6 +263,54 @@ impl<T: SequentialObject> ShardedStore<T> {
     /// The shared runtime, when the store was built with one.
     pub fn shared_runtime(&self) -> Option<&Arc<PmemRuntime>> {
         self.shared_runtime.as_ref()
+    }
+
+    /// Every shard's crash-survivability watermark (see
+    /// [`PrepUc::durable_watermark`]).
+    pub fn durable_watermarks(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.durable_watermark()).collect()
+    }
+
+    /// Asks every shard's persistence thread to checkpoint now instead of
+    /// waiting out its ε window (see [`PrepUc::nudge_checkpoint`]).
+    pub fn nudge_checkpoints(&self) {
+        for s in &self.shards {
+            s.nudge_checkpoint();
+        }
+    }
+
+    /// Blocks until every shard's watermark covers its `completedTail` —
+    /// after this, a crash loses nothing that had completed before the
+    /// call. Intended for drain/shutdown paths; see
+    /// [`PrepUc::quiesce_persistence`] for semantics under concurrent
+    /// writers.
+    pub fn quiesce_persistence(&self) {
+        for s in &self.shards {
+            s.quiesce_persistence();
+        }
+    }
+
+    /// One consolidated snapshot of every shard's observable state — the
+    /// single source for serve's ADMIN verb and `prep-bench`'s per-shard
+    /// lanes (both used to hand-roll this zip).
+    pub fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            epoch: self.epoch,
+            loss_bound: self.loss_bound(),
+            shared_counters: self.shared_runtime.is_some(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| ShardMetrics {
+                    shard: i,
+                    completed_tail: s.completed_tail(),
+                    durable_watermark: s.durable_watermark(),
+                    read_slow_paths: s.read_slow_paths(),
+                    stats: s.stats(),
+                })
+                .collect(),
+        }
     }
 
     /// Simulates a full-system power failure: one consistent cut frozen
@@ -624,6 +673,61 @@ mod tests {
             record_key,
         );
         let _ = store.simulate_crash();
+    }
+
+    #[test]
+    fn metrics_snapshot_and_quiesce_cover_all_shards() {
+        let asg = Topology::small().assign_workers(1);
+        let store = ShardedStore::new(
+            HashMap::new(),
+            3,
+            asg.clone(),
+            cfg(DurabilityLevel::Buffered).with_epsilon(64),
+            map_key,
+        );
+        let before = store.metrics();
+        assert_eq!(before.shards.len(), 3);
+        assert!(before.shared_counters);
+        assert_eq!(before.total_completed(), 0);
+        let t = store.register(0);
+        for k in 0..60u64 {
+            store.execute(&t, MapOp::Insert { key: k, value: k });
+        }
+        // ε = 64 > per-shard op counts: only a quiesce forces the
+        // checkpoints that raise the watermarks to the tails.
+        store.quiesce_persistence();
+        let m = store.metrics().delta(&before);
+        assert_eq!(m.total_completed(), 60);
+        for s in &m.shards {
+            assert!(s.completed_tail > 0, "shard {} got no traffic", s.shard);
+        }
+        let now = store.metrics();
+        for s in &now.shards {
+            assert_eq!(
+                s.durable_watermark, s.completed_tail,
+                "quiesce left shard {} short",
+                s.shard
+            );
+        }
+        // Zero buffered loss after quiesce: the recovered store holds every
+        // completed op even though the store ran in buffered mode.
+        let (token, image) = store.simulate_crash();
+        drop(store);
+        let rec = ShardedStore::recover(
+            token,
+            image,
+            asg,
+            cfg(DurabilityLevel::Buffered).with_epsilon(64),
+            map_key,
+        );
+        let t = rec.register(0);
+        for k in 0..60u64 {
+            assert_eq!(
+                rec.execute(&t, MapOp::Get { key: k }),
+                MapResp::Value(Some(k)),
+                "key {k} lost despite a quiesced (clean) shutdown"
+            );
+        }
     }
 
     #[test]
