@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use prep_bench::workload::{prefilled_hashmap, MapOpGen};
 use prep_nr::{FairnessMode, NodeReplicated, NoopHooks};
-use prep_sync::{DistRwLock, ReaderId, RwSpinLock};
+use prep_sync::{DistRwLock, ReaderId, RwSpinLock, SeqVersion};
 use prep_topology::Topology;
 
 const KEYS: u64 = 8_192;
@@ -40,6 +40,8 @@ fn nr_reads(c: &mut Criterion, fairness: FairnessMode, name: &str) {
 fn bench_nr_read_path(c: &mut Criterion) {
     nr_reads(c, FairnessMode::Throughput, "NR-DistRwLock");
     nr_reads(c, FairnessMode::ThroughputCentralized, "NR-RwSpinLock");
+    nr_reads(c, FairnessMode::Optimistic, "NR-Optimistic");
+    nr_reads(c, FairnessMode::Adaptive, "NR-Adaptive");
 }
 
 fn bench_raw_locks(c: &mut Criterion) {
@@ -75,6 +77,23 @@ fn bench_raw_locks(c: &mut Criterion) {
             let mut acc = 0u64;
             for _ in 0..BATCH {
                 acc = acc.wrapping_add(*lock.read());
+            }
+            acc
+        });
+    });
+
+    g.bench_function("SeqVersion-validated-read", |b| {
+        let version = SeqVersion::new();
+        let data = 7u64;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..BATCH {
+                if let Some(snap) = version.read_begin() {
+                    let v = data;
+                    if version.validate(snap) {
+                        acc = acc.wrapping_add(v);
+                    }
+                }
             }
             acc
         });

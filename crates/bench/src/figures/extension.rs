@@ -165,7 +165,11 @@ fn throughput(opts: &RunOpts) {
             report::row(
                 &format!("{read_pct}r"),
                 "ONLL",
-                &crate::targets::CellResult { m, stats },
+                &crate::targets::CellResult {
+                    m,
+                    stats,
+                    reads: Default::default(),
+                },
             );
         }
     }

@@ -1,21 +1,27 @@
 //! Read-path scaling figure (repo extension, anchored to NR §3's
-//! distributed reader-writer lock).
+//! distributed reader-writer lock and this repo's optimistic seqlock
+//! read path).
 //!
 //! The paper's headline workloads are 90%-read (Fig. 1a/1b, Fig. 2,
 //! Fig. 6), so the replica read path is the throughput-critical section.
-//! This figure sweeps threads × read ratio {90%, 100%} × replica-lock
-//! implementation {centralized `RwSpinLock`, distributed `DistRwLock`} on
-//! the prefilled hashmap under volatile NR (no latency model — the lock is
-//! the only variable), and reports the distributed/centralized throughput
-//! ratio per cell. With the distributed lock, a caught-up reader touches
-//! only its own cacheline-padded slot; the centralized baseline bounces one
-//! shared line between every reader.
+//! This figure sweeps threads × read ratio {90%, 100%} × read-path mode
+//! {centralized `RwSpinLock`, distributed `DistRwLock`, lock-free
+//! `Optimistic`, self-tuning `Adaptive`} on the prefilled hashmap under
+//! volatile NR (no latency model — the read path is the only variable).
+//! With the distributed lock a caught-up reader touches only its own
+//! cacheline-padded slot (one RMW + one store); an optimistic reader
+//! touches *no* shared line at all — two loads of the replica seqlock
+//! version bracket the read, and validation failure falls back to the
+//! slot path. Adaptive starts on the slot path and migrates per the
+//! observed read/write mix.
 //!
 //! Caveat: on a single-CPU VM the kernel timeslices the "concurrent"
 //! readers, so the centralized line never actually ping-pongs between cores
-//! and the measured gap understates real-hardware behavior (see
-//! EXPERIMENTS.md § readscale). The slow-path counter column shows how many
-//! reads missed the zero-contention fast path.
+//! and the measured gaps understate real-hardware behavior (see
+//! EXPERIMENTS.md § readscale). The counter columns make the path taken
+//! visible: `opt` counts validated optimistic reads, `vfail` seqlock
+//! validation failures, `slow` locked reads that missed the
+//! zero-contention fast path.
 //!
 //! Also records the sweep as `BENCH_readscale.json` in the working
 //! directory — the perf-trajectory baseline future sessions diff against.
@@ -28,9 +34,11 @@ use crate::targets::{run_nr_fair, CellResult};
 use crate::workload::prefilled_hashmap;
 use crate::RunOpts;
 
-const LOCKS: [(FairnessMode, &str); 2] = [
+const LOCKS: [(FairnessMode, &str); 4] = [
     (FairnessMode::ThroughputCentralized, "RwSpinLock"),
     (FairnessMode::Throughput, "DistRwLock"),
+    (FairnessMode::Optimistic, "Optimistic"),
+    (FairnessMode::Adaptive, "Adaptive"),
 ];
 
 const READ_PCTS: [u32; 2] = [90, 100];
@@ -48,7 +56,7 @@ pub fn run(opts: &RunOpts) {
     let keys = opts.key_range(); // 1M keys at full scale (paper hashmap)
     report::banner(
         "Readscale",
-        "read-path scaling: threads x read ratio x replica lock \
+        "read-path scaling: threads x read ratio x read-path mode \
          (volatile NR, hashmap, latency model off)",
     );
 
@@ -66,6 +74,12 @@ pub fn run(opts: &RunOpts) {
                     &map_stream(read_pct, keys),
                 );
                 report::row(&format!("hashmap-{read_pct}r"), lname, &cell);
+                println!(
+                    "      opt={} vfail={} slow={}",
+                    cell.reads.fast_optimistic,
+                    cell.reads.validation_failures,
+                    cell.reads.slow_paths
+                );
                 records.push(Record {
                     read_pct,
                     lock: lname,
@@ -80,11 +94,12 @@ pub fn run(opts: &RunOpts) {
     write_json(opts, &records);
 }
 
-/// Prints, per (read ratio, threads) cell, the DistRwLock / RwSpinLock
-/// throughput ratio — the figure's headline number.
+/// Prints, per (read ratio, threads) cell, each mode's throughput ratio
+/// over the centralized `RwSpinLock` baseline — the figure's headline
+/// numbers.
 fn print_ratio_summary(records: &[Record]) {
     println!();
-    println!("-- DistRwLock speedup vs RwSpinLock (read throughput ratio)");
+    println!("-- speedup vs RwSpinLock (read throughput ratio)");
     let mut panels: Vec<(u32, usize)> = records.iter().map(|r| (r.read_pct, r.threads)).collect();
     panels.dedup();
     for (read_pct, threads) in panels {
@@ -94,13 +109,24 @@ fn print_ratio_summary(records: &[Record]) {
                 .find(|r| r.read_pct == read_pct && r.threads == threads && r.lock == lock)
                 .map(|r| r.cell.m.ops_per_sec())
         };
-        if let (Some(central), Some(dist)) = (per("RwSpinLock"), per("DistRwLock")) {
-            let ratio = if central > 0.0 {
-                dist / central
+        let Some(central) = per("RwSpinLock") else {
+            continue;
+        };
+        let ratio = |ops: f64| {
+            if central > 0.0 {
+                ops / central
             } else {
                 f64::INFINITY
-            };
-            println!("{read_pct:>3}% reads  {threads:>3} threads  {ratio:>8.2}x");
+            }
+        };
+        let (dist, opt, adapt) = (per("DistRwLock"), per("Optimistic"), per("Adaptive"));
+        if let (Some(dist), Some(opt), Some(adapt)) = (dist, opt, adapt) {
+            println!(
+                "{read_pct:>3}% reads  {threads:>3} threads  dist {:>6.2}x  opt {:>6.2}x  adapt {:>6.2}x",
+                ratio(dist),
+                ratio(opt),
+                ratio(adapt)
+            );
         }
     }
 }
@@ -118,12 +144,17 @@ fn write_json(opts: &RunOpts, records: &[Record]) {
         let sep = if i + 1 == records.len() { "" } else { "," };
         out.push_str(&format!(
             "    {{\"read_pct\": {}, \"lock\": \"{}\", \"threads\": {}, \
-             \"total_ops\": {}, \"ops_per_sec\": {:.0}}}{}\n",
+             \"total_ops\": {}, \"ops_per_sec\": {:.0}, \
+             \"read_fast_optimistic\": {}, \"read_validation_failures\": {}, \
+             \"read_slow_paths\": {}}}{}\n",
             r.read_pct,
             r.lock,
             r.threads,
             r.cell.m.total_ops,
             r.cell.m.ops_per_sec(),
+            r.cell.reads.fast_optimistic,
+            r.cell.reads.validation_failures,
+            r.cell.reads.slow_paths,
             sep
         ));
     }

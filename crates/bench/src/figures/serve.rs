@@ -59,6 +59,7 @@ fn load_config(addr: String, rate: f64, ack: AckLevel, duration_ms: u64) -> RunC
         ack,
         seed: 42,
         preload: 4_096,
+        arrival: prep_loadgen::Arrival::Fixed,
         crash_at_ms: None,
         shutdown: false,
     }

@@ -17,6 +17,20 @@ use crate::report::Phase;
 use crate::runner::{measure, Measurement};
 use crate::workload::MapOpGen;
 
+/// Read-path counters captured from the construction after a cell's
+/// window (zero for targets that do not expose them).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadPathCounters {
+    /// Validated optimistic lock-free reads (zero RMWs, zero shared
+    /// stores each).
+    pub fast_optimistic: u64,
+    /// Optimistic reads that failed seqlock validation and fell back to
+    /// the locked path.
+    pub validation_failures: u64,
+    /// Locked reads that missed the zero-contention fast path.
+    pub slow_paths: u64,
+}
+
 /// A measurement plus the persistence-counter delta it generated.
 #[derive(Debug, Clone, Copy)]
 pub struct CellResult {
@@ -25,6 +39,8 @@ pub struct CellResult {
     /// Persistence ops performed during the window (zero for volatile
     /// targets).
     pub stats: PmemStatsSnapshot,
+    /// Read-path counters (populated by [`run_nr_fair`]; zero elsewhere).
+    pub reads: ReadPathCounters,
 }
 
 impl CellResult {
@@ -32,6 +48,7 @@ impl CellResult {
         CellResult {
             m,
             stats: PmemStatsSnapshot::default(),
+            reads: ReadPathCounters::default(),
         }
     }
 
@@ -83,8 +100,13 @@ where
         })
     });
     let stats = phase.finish();
+    let reads = ReadPathCounters {
+        fast_optimistic: prep.read_fast_optimistic(),
+        validation_failures: prep.read_validation_failures(),
+        slow_paths: prep.read_slow_paths(),
+    };
     drop(prep);
-    CellResult { m, stats }
+    CellResult { m, stats, reads }
 }
 
 /// Runs one cell against volatile NR-UC (the paper's PREP-V).
@@ -139,7 +161,14 @@ where
             nr_ref.execute(&token, ops());
         })
     });
-    CellResult::volatile(m)
+    let reads = ReadPathCounters {
+        fast_optimistic: nr.read_fast_optimistic(),
+        validation_failures: nr.read_validation_failures(),
+        slow_paths: nr.read_slow_paths(),
+    };
+    let mut cell = CellResult::volatile(m);
+    cell.reads = reads;
+    cell
 }
 
 /// Runs one cell against the global-lock baseline.
@@ -175,7 +204,12 @@ where
         })
     });
     let stats = phase.map(|p| p.finish()).unwrap_or_default();
-    CellResult { m, stats }
+    let reads = ReadPathCounters {
+        fast_optimistic: cx.read_fast_optimistic(),
+        validation_failures: cx.read_validation_failures(),
+        slow_paths: 0,
+    };
+    CellResult { m, stats, reads }
 }
 
 /// Runs one cell against the SOFT hashtable (Figure 6).
@@ -214,7 +248,11 @@ pub fn run_soft(
         })
     });
     let stats = phase.finish();
-    CellResult { m, stats }
+    CellResult {
+        m,
+        stats,
+        reads: ReadPathCounters::default(),
+    }
 }
 
 /// One shard's share of a sharded measurement cell.

@@ -132,6 +132,20 @@ impl<T: SequentialObject> PrepUc<T> {
         self.nr.read_slow_paths()
     }
 
+    /// Validated optimistic (lock-free) fast-path reads — zero atomic RMWs,
+    /// zero shared-cacheline stores each — summed over replicas. Nonzero
+    /// only under the optimistic-capable fairness modes.
+    pub fn read_fast_optimistic(&self) -> u64 {
+        self.nr.read_fast_optimistic()
+    }
+
+    /// Optimistic reads that failed seqlock validation (a combiner
+    /// overlapped the lock-free read) and fell back toward the slot path,
+    /// summed over replicas.
+    pub fn read_validation_failures(&self) -> u64 {
+        self.nr.read_validation_failures()
+    }
+
     /// The construction's configuration.
     pub fn config(&self) -> &PrepConfig {
         &self.config

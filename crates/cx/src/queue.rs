@@ -34,7 +34,11 @@ const RESP_CLAIMED: u8 = 1;
 const RESP_READY: u8 = 2;
 
 struct Slot<O, R> {
+    // shared-line: one slot = one operation; the enqueuer/claimer pair that
+    // touches these bytes also hands off `op`/`resp` on the same line, so
+    // the line transfer is the protocol, not false sharing.
     ready: AtomicU8, // 0 = empty, 1 = op published
+    // shared-line: same handoff line as `ready` (see above).
     resp_state: AtomicU8,
     op: UnsafeCell<Option<O>>,
     resp: UnsafeCell<Option<R>>,
@@ -67,6 +71,8 @@ impl<O, R> Segment<O, R> {
 
 /// The unbounded append-only operation queue.
 pub struct OpQueue<O, R> {
+    // shared-line: written once per segment allocation (every SEG_SIZE
+    // ops), read-mostly thereafter; the hot word `tail` below is padded.
     segs: Box<[AtomicPtr<Segment<O, R>>]>,
     tail: CachePadded<AtomicU64>,
 }

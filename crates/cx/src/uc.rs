@@ -7,7 +7,7 @@ use std::sync::Arc;
 use crossbeam_utils::CachePadded;
 use prep_pmem::PmemRuntime;
 use prep_seqds::SequentialObject;
-use prep_sync::{StrongTryRwLock, Waiter};
+use prep_sync::{SeqVersion, StrongTryRwLock, Waiter};
 
 use crate::queue::OpQueue;
 
@@ -26,6 +26,11 @@ pub struct CxConfig {
     /// distinct cachelines instead of funneling through one counter.
     /// [`CxConfig::volatile`]/[`CxConfig::persistent`] set one per thread.
     pub reader_slots: usize,
+    /// Serve read-only operations through the seqlock-validated optimistic
+    /// path first (zero lock-stripe RMWs on success), falling back to the
+    /// strong-try read lock on validation failure. On by default; disable
+    /// to measure the pure strong-try baseline.
+    pub optimistic_reads: bool,
 }
 
 impl CxConfig {
@@ -35,6 +40,7 @@ impl CxConfig {
             replicas: 2 * threads.max(1),
             persistence: None,
             reader_slots: threads.max(1),
+            optimistic_reads: true,
         }
     }
 
@@ -44,6 +50,7 @@ impl CxConfig {
             replicas: 2 * threads.max(1),
             persistence: Some(rt),
             reader_slots: threads.max(1),
+            optimistic_reads: true,
         }
     }
 
@@ -58,6 +65,12 @@ impl CxConfig {
         self.reader_slots = slots.max(1);
         self
     }
+
+    /// Enables or disables the optimistic read path (builder style).
+    pub fn with_optimistic_reads(mut self, on: bool) -> Self {
+        self.optimistic_reads = on;
+        self
+    }
 }
 
 struct CxReplica<T: SequentialObject> {
@@ -67,6 +80,9 @@ struct CxReplica<T: SequentialObject> {
     /// Logical NVM address range this replica occupies (sanitizer identity;
     /// allocated only when persistence is on).
     psan_region: Option<prep_pmem::psan::Region>,
+    /// Seqlock version bracketing every replay session, so optimistic
+    /// readers detect an overlapping writer and discard their reads.
+    version: SeqVersion,
 }
 
 struct ReplicaState<T> {
@@ -82,6 +98,15 @@ pub struct CxUc<T: SequentialObject> {
     persistence: Option<Arc<PmemRuntime>>,
     /// Round-robin hint so threads scatter across replicas.
     next_hint: CachePadded<AtomicU64>,
+    /// Whether reads try the seqlock-validated optimistic path first.
+    optimistic_reads: bool,
+    /// Validated optimistic fast-path reads. CX's read interface carries no
+    /// registered identity, so (unlike NR's per-slot counters) this is one
+    /// shared RMW per optimistic read — still strictly cheaper than the two
+    /// stripe RMWs (mark + unmark) the locked path pays.
+    read_fast_optimistic: CachePadded<AtomicU64>,
+    /// Optimistic reads that failed seqlock validation.
+    read_validation_failures: CachePadded<AtomicU64>,
     _marker: UnsafeCell<()>,
 }
 
@@ -107,6 +132,7 @@ impl<T: SequentialObject> CxUc<T> {
                     .persistence
                     .as_ref()
                     .map(|rt| rt.psan_region("cxReplica", 1 << 40)),
+                version: SeqVersion::new(),
             })
             .collect();
         CxUc {
@@ -115,6 +141,9 @@ impl<T: SequentialObject> CxUc<T> {
             latest: CachePadded::new(AtomicU64::new(0)),
             persistence: config.persistence,
             next_hint: CachePadded::new(AtomicU64::new(0)),
+            optimistic_reads: config.optimistic_reads,
+            read_fast_optimistic: CachePadded::new(AtomicU64::new(0)),
+            read_validation_failures: CachePadded::new(AtomicU64::new(0)),
             _marker: UnsafeCell::new(()),
         }
     }
@@ -163,7 +192,11 @@ impl<T: SequentialObject> CxUc<T> {
                     drop(guard);
                     break;
                 }
+                // Bracket the replay with the replica's seqlock version so
+                // optimistic readers discard anything they saw mid-replay.
+                self.replicas[i].version.write_begin();
                 self.replay_through(&mut guard, pos);
+                self.replicas[i].version.write_end();
                 // 3. CX-PUC: persist the *entire* replica before the ops it
                 //    just absorbed may complete.
                 if let Some(rt) = &self.persistence {
@@ -239,6 +272,11 @@ impl<T: SequentialObject> CxUc<T> {
             // visible (with the lock's own ordering as a second fence).
             let packed = self.latest.load(Ordering::Acquire);
             let replica = (packed & 0xffff) as usize;
+            if self.optimistic_reads {
+                if let Some(resp) = self.read_optimistic(replica, floor, &op) {
+                    return resp;
+                }
+            }
             if let Some(guard) = self.replicas[replica].state.try_read() {
                 if guard.applied >= floor {
                     return guard.ds.apply_readonly(&op);
@@ -246,6 +284,52 @@ impl<T: SequentialObject> CxUc<T> {
             }
             w.wait();
         }
+    }
+
+    /// Seqlock-validated lock-free read against replica `i`: accepted only
+    /// if the replica covered `floor` and no replay session overlapped.
+    /// `None` falls back to the strong-try read lock (bounded: the caller
+    /// tries the lock in the same loop iteration).
+    fn read_optimistic(&self, i: usize, floor: u64, op: &T::Op) -> Option<T::Resp> {
+        let replica = &self.replicas[i];
+        let snap = replica.version.read_begin()?;
+        let mut out = None;
+        // SAFETY: seqlock bracket — `snap` was even and `validate` below
+        // rejects the result if any replay session overlapped these
+        // unsynchronized reads; a torn `applied`/`ds` is discarded
+        // unobserved (see DESIGN.md "Why optimistic reads are safe").
+        unsafe {
+            replica.state.peek(|state| {
+                if state.applied >= floor {
+                    out = Some(state.ds.apply_readonly(op));
+                }
+            });
+        }
+        if !replica.version.validate(snap) {
+            self.read_validation_failures
+                // ord: failure-path statistic; this path falls back to a
+                // real lock acquisition anyway.
+                .fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if out.is_some() {
+            // ord: statistics counter (see field docs for why CX pays an
+            // RMW here where NR does not).
+            self.read_fast_optimistic.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Validated optimistic fast-path reads (diagnostic).
+    pub fn read_fast_optimistic(&self) -> u64 {
+        // ord: statistics counter.
+        self.read_fast_optimistic.load(Ordering::Relaxed)
+    }
+
+    /// Optimistic reads that failed seqlock validation (diagnostic).
+    pub fn read_validation_failures(&self) -> u64 {
+        // ord: statistics counter.
+        self.read_validation_failures.load(Ordering::Relaxed)
     }
 
     /// Observes the most-up-to-date replica (test/diagnostic API).
@@ -351,6 +435,79 @@ mod tests {
         // Per update: ≥1 flush for the queue entry + many for the replica.
         assert!(s.clflushopt > 100, "whole-replica flushes missing: {s:?}");
         assert!(s.sfence >= 100, "two fences per update expected: {s:?}");
+    }
+
+    #[test]
+    fn optimistic_reads_served_and_counted() {
+        let cx = CxUc::new(HashMap::new(), CxConfig::volatile(2));
+        for k in 0..20u64 {
+            cx.execute(MapOp::Insert {
+                key: k,
+                value: k * 10,
+            });
+        }
+        for k in 0..20u64 {
+            assert_eq!(
+                cx.execute(MapOp::Get { key: k }),
+                MapResp::Value(Some(k * 10))
+            );
+        }
+        assert_eq!(
+            cx.read_fast_optimistic(),
+            20,
+            "quiescent reads must all take the optimistic path"
+        );
+        assert_eq!(cx.read_validation_failures(), 0);
+
+        // Baseline with optimism off: same answers, counter stays zero.
+        let base = CxUc::new(
+            HashMap::new(),
+            CxConfig::volatile(2).with_optimistic_reads(false),
+        );
+        base.execute(MapOp::Insert { key: 1, value: 11 });
+        assert_eq!(
+            base.execute(MapOp::Get { key: 1 }),
+            MapResp::Value(Some(11))
+        );
+        assert_eq!(base.read_fast_optimistic(), 0);
+    }
+
+    #[test]
+    fn optimistic_reads_race_writers_consistently() {
+        const THREADS: usize = 3;
+        const PER: u64 = 400;
+        let cx = Arc::new(CxUc::new(Recorder::new(), CxConfig::volatile(THREADS + 1)));
+        let writers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let cx = Arc::clone(&cx);
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        cx.execute(RecorderOp::Record((t as u64) << 32 | i));
+                    }
+                })
+            })
+            .collect();
+        // Reader races the writers: counts must be monotone (a validated
+        // optimistic read observing a torn replay would break this).
+        let mut last = 0u64;
+        for _ in 0..2000 {
+            match cx.execute(RecorderOp::Count) {
+                prep_seqds::recorder::RecorderResp::Count(c) => {
+                    assert!(c >= last, "count went backwards: {c} < {last}");
+                    last = c;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        for h in writers {
+            h.join().unwrap();
+        }
+        match cx.execute(RecorderOp::Count) {
+            prep_seqds::recorder::RecorderResp::Count(c) => {
+                assert_eq!(c, THREADS as u64 * PER)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -230,9 +230,10 @@ impl Default for Config {
                 allow: vec![],
             },
             // Padding discipline where §5.1-style false sharing bites:
-            // the log, the locks, the runtime counters.
+            // the log, the locks, the runtime counters, and CX's replica
+            // versions plus optimistic-read counters.
             padding: RuleScope {
-                paths: hot(&["nr", "sync", "pmem"]),
+                paths: hot(&["nr", "sync", "pmem", "cx"]),
                 allow: vec![],
             },
             // Persist-hook coverage where PmemRuntime primitives are

@@ -1,0 +1,221 @@
+//! Arrival processes for the open-loop schedule.
+//!
+//! The engine's original schedule was a fixed lattice: global arrival `n`
+//! at `n/rate` seconds, connection `i` of `c` owning arrivals
+//! `i, i+c, i+2c, …`. A fixed lattice offers perfectly smooth load, which
+//! is kind to queues: real clients arrive in clumps, and it is exactly the
+//! clumps that expose tail latency. This module generalizes the schedule
+//! to three processes, all preserving the *aggregate* offered rate:
+//!
+//! * [`Arrival::Fixed`] — the original lattice (default, bit-identical to
+//!   the pre-module schedule).
+//! * [`Arrival::Poisson`] — memoryless arrivals. Each connection draws
+//!   exponential inter-arrival gaps with mean `conns/rate`; the
+//!   superposition of `conns` independent Poisson processes of rate
+//!   `rate/conns` is a Poisson process of rate `rate`, so the aggregate
+//!   is Poisson at the offered rate regardless of the connection count.
+//! * [`Arrival::Bursty`] — an on/off (interrupted) process: arrivals come
+//!   only during ON windows, at the boosted rate
+//!   `rate × (on+off)/on`, so the long-run average stays `rate` while the
+//!   instantaneous load during a burst is a multiple of it.
+//!
+//! Every process yields offsets from the run's start in nanoseconds,
+//! strictly ordered per connection, so the engine's send loop and its
+//! deadline-based receive need no changes beyond swapping the formula.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An arrival-process selection, parsed from `--arrival`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Fixed lattice: global arrival `n` at exactly `n/rate` seconds.
+    Fixed,
+    /// Poisson process at the offered rate (exponential gaps per
+    /// connection; superposition property keeps the aggregate Poisson).
+    Poisson,
+    /// On/off bursts: `on_ms` of boosted-rate arrivals, then `off_ms` of
+    /// silence, repeating. Average rate equals the offered rate.
+    Bursty {
+        /// Burst window length, milliseconds (> 0).
+        on_ms: u64,
+        /// Silence window length, milliseconds.
+        off_ms: u64,
+    },
+}
+
+impl Arrival {
+    /// Parses `fixed`, `poisson`, or `bursty:ON,OFF` (window lengths in
+    /// milliseconds). Returns `None` on malformed input.
+    pub fn parse(s: &str) -> Option<Arrival> {
+        match s {
+            "fixed" => Some(Arrival::Fixed),
+            "poisson" => Some(Arrival::Poisson),
+            _ => {
+                let spec = s.strip_prefix("bursty:")?;
+                let (on, off) = spec.split_once(',')?;
+                let on_ms: u64 = on.parse().ok()?;
+                let off_ms: u64 = off.parse().ok()?;
+                if on_ms == 0 {
+                    return None;
+                }
+                Some(Arrival::Bursty { on_ms, off_ms })
+            }
+        }
+    }
+}
+
+/// One connection's arrival generator: a stream of schedule offsets (ns
+/// from run start), strictly increasing per connection.
+#[derive(Debug)]
+pub struct ArrivalGen {
+    process: Arrival,
+    /// Global lattice interval `1/rate`, ns.
+    interval_ns: f64,
+    conns: u64,
+    index: u64,
+    /// Arrival counter (the `k` of the fixed lattice).
+    k: u64,
+    /// Running offset for the Poisson process, ns.
+    poisson_at_ns: f64,
+    /// RNG for exponential gaps; unused by deterministic processes. Kept
+    /// separate from the op-mix RNG so switching processes never perturbs
+    /// the key/op stream.
+    rng: SmallRng,
+}
+
+impl ArrivalGen {
+    /// Builds the generator for connection `index` of `conns`, offered
+    /// aggregate `rate` (requests/second).
+    pub fn new(process: Arrival, rate: f64, conns: usize, index: usize, seed: u64) -> ArrivalGen {
+        assert!(rate > 0.0, "rate must be positive");
+        assert!(conns > 0, "need at least one connection");
+        ArrivalGen {
+            process,
+            interval_ns: 1e9 / rate,
+            conns: conns as u64,
+            index: index as u64,
+            k: 0,
+            poisson_at_ns: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next arrival offset (ns from run start) for this connection.
+    pub fn next_offset_ns(&mut self) -> u64 {
+        let k = self.k;
+        self.k += 1;
+        match self.process {
+            Arrival::Fixed => ((k * self.conns + self.index) as f64 * self.interval_ns) as u64,
+            Arrival::Poisson => {
+                // Exponential gap with mean conns/rate seconds: the
+                // superposition across connections is Poisson(rate).
+                let u: f64 = self.rng.gen();
+                let gap = -(1.0 - u).ln() * self.interval_ns * self.conns as f64;
+                self.poisson_at_ns += gap;
+                self.poisson_at_ns as u64
+            }
+            Arrival::Bursty { on_ms, off_ms } => {
+                // Deterministic compression of the fixed lattice into ON
+                // windows: arrival n sits at cumulative-ON time
+                // n × interval × on/(on+off); mapping cumulative-ON time
+                // back to wall time re-inserts the OFF gaps.
+                let on_ns = on_ms as f64 * 1e6;
+                let cycle_ns = (on_ms + off_ms) as f64 * 1e6;
+                let boosted = self.interval_ns * on_ns / cycle_ns;
+                let v = (k * self.conns + self.index) as f64 * boosted;
+                let cycles = (v / on_ns).floor();
+                (cycles * cycle_ns + (v - cycles * on_ns)) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_forms_and_rejects_garbage() {
+        assert_eq!(Arrival::parse("fixed"), Some(Arrival::Fixed));
+        assert_eq!(Arrival::parse("poisson"), Some(Arrival::Poisson));
+        assert_eq!(
+            Arrival::parse("bursty:50,200"),
+            Some(Arrival::Bursty {
+                on_ms: 50,
+                off_ms: 200
+            })
+        );
+        assert_eq!(Arrival::parse("bursty:0,200"), None); // empty ON window
+        assert_eq!(Arrival::parse("bursty:50"), None);
+        assert_eq!(Arrival::parse("burst"), None);
+        assert_eq!(Arrival::parse("bursty:a,b"), None);
+    }
+
+    #[test]
+    fn fixed_matches_the_original_lattice() {
+        // Connection 1 of 3 at 1000 req/s: arrivals 1, 4, 7, … at 1 ms
+        // lattice spacing.
+        let mut g = ArrivalGen::new(Arrival::Fixed, 1000.0, 3, 1, 7);
+        assert_eq!(g.next_offset_ns(), 1_000_000);
+        assert_eq!(g.next_offset_ns(), 4_000_000);
+        assert_eq!(g.next_offset_ns(), 7_000_000);
+    }
+
+    #[test]
+    fn poisson_preserves_the_aggregate_rate() {
+        // 4 connections, 10k req/s aggregate, 10k draws per connection:
+        // the mean inter-arrival per connection is 4/10k s = 400 µs, so
+        // 10k arrivals span ~4 s. Allow 5% statistical slack.
+        let mut last_total = 0.0;
+        for index in 0..4 {
+            let mut g = ArrivalGen::new(Arrival::Poisson, 10_000.0, 4, index, 99 + index as u64);
+            let mut last = 0u64;
+            let n = 10_000;
+            for _ in 0..n {
+                let t = g.next_offset_ns();
+                assert!(t >= last, "offsets must be monotone");
+                last = t;
+            }
+            last_total += last as f64;
+        }
+        let mean_span = last_total / 4.0;
+        let expected = 4.0e9; // 10k draws × 400 µs
+        assert!(
+            (mean_span - expected).abs() < 0.05 * expected,
+            "mean span {mean_span} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn bursty_arrivals_stay_inside_on_windows_at_average_rate() {
+        // 1 connection, 1000 req/s, 10 ms ON / 30 ms OFF: all arrivals
+        // must land in [cycle_start, cycle_start + 10 ms), and 1000
+        // arrivals must span ~1 s (average rate preserved).
+        let mut g = ArrivalGen::new(
+            Arrival::Bursty {
+                on_ms: 10,
+                off_ms: 30,
+            },
+            1000.0,
+            1,
+            0,
+            5,
+        );
+        let mut last = 0u64;
+        for _ in 0..1000 {
+            let t = g.next_offset_ns();
+            assert!(t >= last, "offsets must be monotone");
+            last = t;
+            let in_cycle = t % 40_000_000;
+            assert!(
+                in_cycle < 10_000_000,
+                "arrival at {t} ns is in an OFF window"
+            );
+        }
+        assert!(
+            (0.9e9..1.1e9).contains(&(last as f64)),
+            "1000 arrivals spanned {last} ns, expected ~1e9"
+        );
+    }
+}

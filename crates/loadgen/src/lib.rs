@@ -5,7 +5,9 @@
 //! * [`hist`] — an HDR-style log-bucketed latency histogram (~3% relative
 //!   error, mergeable, allocation-free recording) for p50/p99/p999.
 //! * [`keys`] — uniform and zipfian key-popularity samplers.
-//! * [`run`] — the open-loop engine: fixed arrival schedules derived from
+//! * [`arrivals`] — arrival processes (fixed lattice, Poisson, bursty
+//!   on/off), all preserving the aggregate offered rate.
+//! * [`run`] — the open-loop engine: arrival schedules derived from
 //!   the offered rate, latency measured from *scheduled* send time
 //!   (coordinated-omission-free), `RETRY` counted as shed load, optional
 //!   crash injection with time-to-first-response measurement.
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod clock;
 pub mod hist;
 pub mod keys;
 pub mod run;
 
+pub use arrivals::{Arrival, ArrivalGen};
 pub use hist::LatencyHistogram;
 pub use keys::{KeyMix, KeySampler};
 pub use run::{CrashProbe, RunConfig, RunReport};

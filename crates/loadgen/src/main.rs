@@ -6,9 +6,10 @@
 //!              [--conns 2] [--keys 10000] [--mix uniform|zipf:0.99]
 //!              [--gets 0.5] [--ack buffered|durable] [--seed 42]
 //!              [--preload 1000] [--warmup-ms 200] [--crash-at-ms N]
-//!              [--shutdown]
+//!              [--arrival fixed|poisson|bursty:ON,OFF] [--shutdown]
 //! ```
 
+use prep_loadgen::arrivals::Arrival;
 use prep_loadgen::keys::KeyMix;
 use prep_loadgen::run::{run, RunConfig};
 use prep_serve::proto::AckLevel;
@@ -18,7 +19,8 @@ fn usage() -> ! {
         "usage: prep-loadgen [--addr A] [--rate R] [--duration-ms N] [--warmup-ms N]\n\
          \x20                   [--conns N] [--keys N] [--mix uniform|zipf:THETA]\n\
          \x20                   [--gets F] [--ack buffered|durable] [--seed N]\n\
-         \x20                   [--preload N] [--crash-at-ms N] [--shutdown]"
+         \x20                   [--preload N] [--crash-at-ms N]\n\
+         \x20                   [--arrival fixed|poisson|bursty:ON,OFF] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -61,6 +63,7 @@ fn main() {
             "--crash-at-ms" => {
                 cfg.crash_at_ms = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
             }
+            "--arrival" => cfg.arrival = Arrival::parse(&val(&mut args)).unwrap_or_else(|| usage()),
             "--shutdown" => cfg.shutdown = true,
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -2,16 +2,18 @@
 //!
 //! Closed-loop clients (send, wait, send) let a slow server set the pace,
 //! hiding queueing delay — the coordinated-omission trap. This engine is
-//! **open-loop**: every connection derives a *fixed arrival schedule* from
-//! the offered rate before the run starts, sends each request at its
+//! **open-loop**: every connection derives an *arrival schedule* from
+//! the offered rate before the run starts (see [`crate::arrivals`] for the
+//! fixed-lattice, Poisson, and bursty processes), sends each request at its
 //! scheduled instant whether or not earlier responses have returned, and
 //! measures latency **from the scheduled send time**. A request the
 //! generator itself sent late (because the previous send blocked) is
 //! charged that lateness, exactly as a real client arriving then would
 //! experience it.
 //!
-//! Connection `i` of `c` owns arrivals `i, i+c, i+2c, …` of the global
-//! schedule (interval `1/rate`), so the aggregate offered load is `rate`
+//! Under the default fixed lattice, connection `i` of `c` owns arrivals
+//! `i, i+c, i+2c, …` of the global schedule (interval `1/rate`), so the
+//! aggregate offered load is `rate`
 //! regardless of the connection count. Between arrivals the socket blocks
 //! in `read` with a deadline at the next send, so responses are timestamped
 //! promptly rather than at the next polling tick. `RETRY` responses count
@@ -26,6 +28,7 @@ use prep_serve::proto::{self, AckLevel, AdminCmd, Request, Response};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::arrivals::{Arrival, ArrivalGen};
 use crate::clock::Clock;
 use crate::hist::LatencyHistogram;
 use crate::keys::{KeyMix, KeySampler};
@@ -62,6 +65,9 @@ pub struct RunConfig {
     pub seed: u64,
     /// Keys preloaded (PUT) before the timed window.
     pub preload: u64,
+    /// Arrival process shaping the schedule (fixed lattice, Poisson,
+    /// bursty on/off); all preserve the aggregate offered rate.
+    pub arrival: Arrival,
     /// Inject `ADMIN CRASH` this far into the measured window.
     pub crash_at_ms: Option<u64>,
     /// Send `ADMIN SHUTDOWN` after the run and wait for the ack.
@@ -82,6 +88,7 @@ impl Default for RunConfig {
             ack: AckLevel::Buffered,
             seed: 42,
             preload: 1_000,
+            arrival: Arrival::Fixed,
             crash_at_ms: None,
             shutdown: false,
         }
@@ -313,8 +320,14 @@ fn conn_worker(
     stream.set_nodelay(true)?;
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(index as u64 * 0x517c_c1b7));
     let sampler = KeySampler::new(cfg.mix, cfg.keys);
+    let mut arrivals = ArrivalGen::new(
+        cfg.arrival,
+        cfg.rate,
+        cfg.conns,
+        index,
+        cfg.seed.wrapping_add(index as u64 * 0x2545_f491),
+    );
 
-    let interval_ns = 1e9 / cfg.rate;
     let end_ns = start_ns + cfg.duration_ms * 1_000_000;
     let warmup_end_ns = start_ns + cfg.warmup_ms * 1_000_000;
     let crash_ns = cfg
@@ -338,9 +351,8 @@ fn conn_worker(
     let mut crash_sent = false;
 
     loop {
-        // Global arrival `k*conns + index`, deterministic schedule.
-        let sched_ns =
-            start_ns + ((k * cfg.conns as u64 + index as u64) as f64 * interval_ns) as u64;
+        // Next arrival of this connection's share of the schedule.
+        let sched_ns = start_ns + arrivals.next_offset_ns();
         if sched_ns >= end_ns {
             break;
         }
@@ -563,6 +575,42 @@ mod tests {
         assert!(report.achieved_rate() > 0.0);
         // Updates are a subset of all completions.
         assert!(report.update_hist.count() <= report.hist.count());
+        server.shutdown();
+    }
+
+    #[test]
+    fn poisson_and_bursty_arrivals_drive_a_run() {
+        let server = server();
+        for arrival in [
+            Arrival::Poisson,
+            Arrival::Bursty {
+                on_ms: 20,
+                off_ms: 60,
+            },
+        ] {
+            let cfg = RunConfig {
+                addr: server.local_addr().to_string(),
+                conns: 2,
+                rate: 4_000.0,
+                duration_ms: 400,
+                warmup_ms: 50,
+                keys: 256,
+                preload: 64,
+                arrival,
+                ..RunConfig::default()
+            };
+            let report = run(&cfg).expect("run");
+            assert!(report.completed > 0, "{arrival:?}: nothing completed");
+            assert_eq!(report.lost, 0, "{arrival:?}: responses went missing");
+            // The non-lattice processes still target the aggregate rate:
+            // within a factor of two on this short window.
+            let achieved = report.achieved_rate();
+            assert!(
+                achieved > cfg.rate * 0.3,
+                "{arrival:?}: achieved only {achieved}/s of {}/s",
+                cfg.rate
+            );
+        }
         server.shutdown();
     }
 

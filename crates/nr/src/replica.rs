@@ -4,7 +4,10 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use crossbeam_utils::CachePadded;
-use prep_sync::{DistRwLock, PhaseFairRwLock, ReaderId, ReplicaLock, RwSpinLock, TryLock};
+use prep_sync::{
+    AdaptiveSelector, DistRwLock, PhaseFairRwLock, ReadMode, ReaderId, ReplicaLock, RwSpinLock,
+    SeqVersion, TryLock,
+};
 
 use crate::FairnessMode;
 
@@ -43,6 +46,53 @@ impl<O, R> BatchSlot<O, R> {
     }
 }
 
+/// Per-reader-slot read-path bookkeeping, one cacheline per slot.
+///
+/// Every field is written only by the slot's owning worker (plain
+/// load+store, never an RMW) and read by others only for rare, advisory
+/// aggregation (metrics, the adaptive selector's window) — so the whole
+/// struct shares one padded line without contention.
+pub(crate) struct SlotReadState {
+    /// Read-only operations routed through this slot (bumped in
+    /// [`FairnessMode::Adaptive`] to feed the selector's window).
+    // shared-line: single-writer line with its two siblings below; padding
+    // is applied once at the container (`CachePadded<SlotReadState>`).
+    pub(crate) reads: AtomicU64,
+    /// Validated optimistic (lock-free) fast-path reads.
+    // shared-line: see `reads` — same single-writer padded line.
+    pub(crate) fast_optimistic: AtomicU64,
+    /// Replica version observed by this slot's last *locked* read; when the
+    /// current version still equals it, the reader has proof of a write-free
+    /// window and may skip the slot RMW ([`FairnessMode::Throughput`]'s
+    /// optimistic skip).
+    // shared-line: see `reads` — same single-writer padded line.
+    pub(crate) last_version: AtomicU64,
+}
+
+impl SlotReadState {
+    fn new() -> Self {
+        SlotReadState {
+            reads: AtomicU64::new(0),
+            fast_optimistic: AtomicU64::new(0),
+            last_version: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Single-writer counter bump: a plain load + store on the owning
+    /// reader's private line — deliberately **not** `fetch_add`, so the
+    /// optimistic fast path stays free of atomic RMW instructions. Returns
+    /// the new value.
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) -> u64 {
+        // ord: single-writer statistics on the owner's private line; remote
+        // aggregation (metrics, selector windows) tolerates staleness.
+        let v = counter.load(Ordering::Relaxed) + 1;
+        // ord: single-writer statistics store (see the load above).
+        counter.store(v, Ordering::Relaxed);
+        v
+    }
+}
+
 /// A volatile replica: the sequential object plus its coordination state.
 pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
     /// The combiner lock (paper: a trylock; winning it makes a thread the
@@ -65,12 +115,29 @@ pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
     /// replica was behind `completedTail` at snapshot time). Bumped only on
     /// the slow path, which already writes shared state.
     pub(crate) read_slow: CachePadded<AtomicU64>,
+    /// Seqlock-style version bracketing every replica mutation (bumped odd
+    /// inside `write_with` before the mutation, even after): the optimistic
+    /// read path's validation word.
+    pub(crate) version: SeqVersion,
+    /// Per-reader-slot read bookkeeping (one padded line per slot, indexed
+    /// like the lock's reader slots).
+    pub(crate) read_state: Box<[CachePadded<SlotReadState>]>,
+    /// Optimistic reads that failed validation (a combiner overlapped the
+    /// lock-free read). Bumped only on the failure path, which falls back
+    /// to a real lock acquisition anyway.
+    pub(crate) read_validation_failures: CachePadded<AtomicU64>,
+    /// Advisory read-mode selector, consulted in [`FairnessMode::Adaptive`].
+    pub(crate) selector: AdaptiveSelector,
 }
 
 impl<T: prep_seqds::SequentialObject> Replica<T> {
     pub(crate) fn new(ds: T, beta: usize, fairness: FairnessMode) -> Self {
         let rw: Box<dyn ReplicaLock<T>> = match fairness {
-            FairnessMode::Throughput => Box::new(DistRwLock::new(ds, beta)),
+            // The optimistic modes keep the distributed lock as their
+            // validated-read fallback and writer-side exclusion.
+            FairnessMode::Throughput | FairnessMode::Optimistic | FairnessMode::Adaptive => {
+                Box::new(DistRwLock::new(ds, beta))
+            }
             FairnessMode::ThroughputCentralized => Box::new(RwSpinLock::new(ds)),
             FairnessMode::StarvationFree => Box::new(PhaseFairRwLock::new(ds)),
         };
@@ -81,6 +148,14 @@ impl<T: prep_seqds::SequentialObject> Replica<T> {
             slots: (0..beta).map(|_| BatchSlot::new()).collect(),
             update_now: CachePadded::new(AtomicBool::new(false)),
             read_slow: CachePadded::new(AtomicU64::new(0)),
+            version: SeqVersion::new(),
+            read_state: (0..beta)
+                .map(|_| CachePadded::new(SlotReadState::new()))
+                .collect(),
+            read_validation_failures: CachePadded::new(AtomicU64::new(0)),
+            // Start distributed: the paper's default routing until a window
+            // of evidence argues otherwise.
+            selector: AdaptiveSelector::new(ReadMode::Distributed),
         }
     }
 
@@ -104,15 +179,86 @@ impl<T: prep_seqds::SequentialObject> Replica<T> {
         out.expect("with_read ran f")
     }
 
-    /// Runs `f` with exclusive access to the sequential object.
+    /// Runs `f` with exclusive access to the sequential object, bracketed
+    /// by the replica's seqlock version (odd while `f` runs, even after) so
+    /// optimistic readers detect the overlap and discard their reads.
     #[inline]
     pub(crate) fn write_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
         let mut f = Some(f);
         let mut out = None;
         self.rw.with_write(&mut |ds| {
+            // Inside the write lock: we are the only version writer.
+            self.version.write_begin();
             out = Some((f.take().expect("with_write runs f once"))(ds));
+            self.version.write_end();
         });
         out.expect("with_write ran f")
+    }
+
+    /// Attempts a seqlock-validated lock-free read: snapshot the version,
+    /// run `f` against the replica without touching the lock, and accept
+    /// the result only if no combiner overlapped. Returns `None` after
+    /// bounded retries (writer mid-apply, or validation kept failing) — the
+    /// caller then falls back to a real lock acquisition. The fast path
+    /// performs zero atomic RMWs and zero stores to any shared cacheline.
+    pub(crate) fn read_optimistic<R>(&self, f: impl Fn(&T) -> R) -> Option<R> {
+        /// Validation failures tolerated before falling back: each retry
+        /// costs a wasted `f`, and under combiner churn the slot path is
+        /// cheaper than a third wasted read.
+        const RETRIES: usize = 2;
+        for _ in 0..RETRIES {
+            let Some(snap) = self.version.read_begin() else {
+                // A combiner is mid-apply; the slot path waits for it
+                // politely instead of spinning here (writers never wait on
+                // optimistic readers, and readers should not busy-spin on
+                // writers).
+                return None;
+            };
+            let mut out = None;
+            // SAFETY: seqlock bracket — `snap` was even (no write in
+            // progress) and `validate` below rejects the result if any
+            // write bracket overlapped `f`'s unsynchronized reads. `f` is a
+            // `SequentialObject::apply_readonly` over plain (non-pointer-
+            // chasing-into-freed-memory) data; discarded torn reads are
+            // never observable (see DESIGN.md "Why optimistic reads are
+            // safe").
+            unsafe { self.rw.with_peek(&mut |ds| out = Some(f(ds))) };
+            if self.version.validate(snap) {
+                return out;
+            }
+            self.read_validation_failures
+                // ord: failure-path statistic (shared line is fine: this
+                // path proceeds to a lock acquisition anyway).
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        None
+    }
+
+    /// Feeds the adaptive selector a fresh window: total reads across this
+    /// replica's slots, completed write brackets, validation failures.
+    /// Called amortized (once per `WINDOW_READS_PER_READER` of one reader's
+    /// reads), so the O(β) sum is off the per-read path.
+    pub(crate) fn evaluate_selector(&self) {
+        self.selector.observe(prep_sync::ReadWindow {
+            reads: self
+                .read_state
+                .iter()
+                // ord: advisory aggregation of single-writer counters.
+                .map(|s| s.reads.load(Ordering::Relaxed))
+                .sum(),
+            writes: self.version.writes(),
+            // ord: advisory aggregation (see above).
+            validation_failures: self.read_validation_failures.load(Ordering::Relaxed),
+        });
+    }
+
+    /// Validated optimistic fast-path reads served by this replica.
+    pub(crate) fn fast_optimistic_total(&self) -> u64 {
+        self.read_state
+            .iter()
+            // ord: advisory aggregation of single-writer counters.
+            .map(|s| s.fast_optimistic.load(Ordering::Relaxed))
+            .sum()
     }
 }
 

@@ -8,9 +8,11 @@ use prep_seqds::SequentialObject;
 use prep_sync::{ReaderId, TicketLock, Waiter};
 use prep_topology::ThreadAssignment;
 
+use prep_sync::{ReadMode, WINDOW_READS_PER_READER};
+
 use crate::hooks::{NoopHooks, NrHooks};
 use crate::log::Log;
-use crate::replica::{Replica, SLOT_DONE, SLOT_EMPTY, SLOT_PENDING};
+use crate::replica::{Replica, SlotReadState, SLOT_DONE, SLOT_EMPTY, SLOT_PENDING};
 use crate::FairnessMode;
 
 /// A registered worker's identity: its NUMA node (→ replica) and its slot in
@@ -80,6 +82,9 @@ pub struct NodeReplicated<T: SequentialObject, H: NrHooks<T::Op> = NoopHooks> {
     registered: Box<[CachePadded<AtomicBool>]>,
     /// FIFO reservation lock, present in [`FairnessMode::StarvationFree`].
     fair_reserve: Option<TicketLock>,
+    /// The fairness mode this instance was built with; routes the read path
+    /// (locked, optimistic, or adaptive).
+    fairness: FairnessMode,
 }
 
 impl<T: SequentialObject> NodeReplicated<T, NoopHooks> {
@@ -135,9 +140,13 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             hooks,
             registered,
             fair_reserve: match fairness {
-                FairnessMode::Throughput | FairnessMode::ThroughputCentralized => None,
                 FairnessMode::StarvationFree => Some(TicketLock::new()),
+                FairnessMode::Throughput
+                | FairnessMode::ThroughputCentralized
+                | FairnessMode::Optimistic
+                | FairnessMode::Adaptive => None,
             },
+            fairness,
         }
     }
 
@@ -472,6 +481,11 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
     /// Caller must hold the replica's combiner lock.
     fn update_replica_to(&self, node: usize, to: u64) {
         let replica = &self.replicas[node];
+        // Already there: skip the lock and the version bump a no-op write
+        // bracket would cost optimistic readers.
+        if replica.local_tail() >= to {
+            return;
+        }
         replica.write_with(|ds| {
             // ord: Acquire pairs with local_tail Release stores (resume
             // point covers all prior applications).
@@ -493,10 +507,11 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         // least every operation completed before this read began (§3).
         let ct = self.log.completed_tail();
         // Fast path: the replica has already applied everything this read
-        // must observe, so acquire only this token's dedicated reader slot —
-        // zero stores to any cacheline shared with another reader.
+        // must observe. (The `local_tail` Acquire load also guarantees the
+        // version word below is at least the bracket that published that
+        // tail — see DESIGN.md "Why optimistic reads are safe".)
         if replica.local_tail() >= ct {
-            return replica.read_with(ReaderId::Slot(token.rslot), |ds| ds.apply_readonly(&op));
+            return self.read_caught_up(replica, token.rslot, &op);
         }
         // Slow path: the replica is behind. This path writes shared state
         // anyway (combiner lock, log application), so one more counter bump
@@ -506,6 +521,8 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
         let mut w = Waiter::new();
         loop {
             if replica.local_tail() >= ct {
+                // The replica just advanced, so its version just changed:
+                // optimism would only validate-fail. Take the slot path.
                 return replica.read_with(ReaderId::Slot(token.rslot), |ds| ds.apply_readonly(&op));
             }
             // Become the combiner and catch the replica up, or wait for the
@@ -518,6 +535,79 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
                 continue;
             }
             w.wait();
+        }
+    }
+
+    /// Serves a read-only op against a caught-up replica, routed by the
+    /// fairness mode:
+    ///
+    /// * locked modes acquire this token's dedicated reader slot — zero
+    ///   stores to any cacheline shared with another reader;
+    /// * optimistic routes run the read lock-free under the seqlock bracket
+    ///   — zero RMWs, zero stores to *any* shared cacheline — and fall back
+    ///   to the slot on validation failure;
+    /// * [`FairnessMode::Adaptive`] consults the replica's selector and
+    ///   feeds it a window sample every [`WINDOW_READS_PER_READER`] of this
+    ///   reader's reads.
+    fn read_caught_up(&self, replica: &Replica<T>, rslot: usize, op: &T::Op) -> T::Resp {
+        let state = &replica.read_state[rslot];
+        match self.fairness {
+            FairnessMode::ThroughputCentralized | FairnessMode::StarvationFree => {
+                replica.read_with(ReaderId::Slot(rslot), |ds| ds.apply_readonly(op))
+            }
+            FairnessMode::Throughput => {
+                // Optimistic skip, gated on an *observed write-free window*:
+                // the version is unchanged since this reader's last locked
+                // read, so combiners are quiet and validation is near-certain
+                // to succeed. Outside the window, pay the slot RMW — it is
+                // cheaper than likely-wasted optimistic attempts.
+                // ord: advisory gate; correctness comes from the
+                // read_begin/validate bracket inside read_optimistic.
+                if replica.version.current() == state.last_version.load(Ordering::Relaxed) {
+                    if let Some(resp) = replica.read_optimistic(|ds| ds.apply_readonly(op)) {
+                        SlotReadState::bump(&state.fast_optimistic);
+                        return resp;
+                    }
+                }
+                let resp = replica.read_with(ReaderId::Slot(rslot), |ds| ds.apply_readonly(op));
+                // Record the version this locked read observed; while it
+                // stays put, later reads have their write-free window.
+                let observed = replica.version.current();
+                // ord: single-writer record on our own line (advisory gate).
+                state.last_version.store(observed, Ordering::Relaxed);
+                resp
+            }
+            FairnessMode::Optimistic => {
+                if let Some(resp) = replica.read_optimistic(|ds| ds.apply_readonly(op)) {
+                    SlotReadState::bump(&state.fast_optimistic);
+                    return resp;
+                }
+                replica.read_with(ReaderId::Slot(rslot), |ds| ds.apply_readonly(op))
+            }
+            FairnessMode::Adaptive => {
+                let reads = SlotReadState::bump(&state.reads);
+                if reads.is_multiple_of(WINDOW_READS_PER_READER) {
+                    replica.evaluate_selector();
+                }
+                match replica.selector.mode() {
+                    ReadMode::Optimistic => {
+                        if let Some(resp) = replica.read_optimistic(|ds| ds.apply_readonly(op)) {
+                            SlotReadState::bump(&state.fast_optimistic);
+                            return resp;
+                        }
+                        replica.read_with(ReaderId::Slot(rslot), |ds| ds.apply_readonly(op))
+                    }
+                    ReadMode::Distributed => {
+                        replica.read_with(ReaderId::Slot(rslot), |ds| ds.apply_readonly(op))
+                    }
+                    // Route through the shared overflow line: all readers
+                    // count on one hot line, approximating the centralized
+                    // lock without swapping lock objects.
+                    ReadMode::Centralized => {
+                        replica.read_with(ReaderId::Shared, |ds| ds.apply_readonly(op))
+                    }
+                }
+            }
         }
     }
 
@@ -568,6 +658,39 @@ impl<T: SequentialObject, H: NrHooks<T::Op>> NodeReplicated<T, H> {
             // ord: statistics counter (see read_slow bump).
             .map(|r| r.read_slow.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Total validated optimistic (lock-free) fast-path reads, summed over
+    /// replicas.
+    pub fn read_fast_optimistic(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|r| r.fast_optimistic_total())
+            .sum()
+    }
+
+    /// Total optimistic reads that failed seqlock validation (a combiner
+    /// overlapped the lock-free read), summed over replicas.
+    pub fn read_validation_failures(&self) -> u64 {
+        self.replicas
+            .iter()
+            // ord: statistics counter (see the failure-path bump).
+            .map(|r| r.read_validation_failures.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Snapshot of `node`'s replica-lock state words. Test-only probe for
+    /// asserting the optimistic fast path stores to no lock word.
+    #[doc(hidden)]
+    pub fn replica_lock_state_words(&self, node: usize) -> Vec<u64> {
+        self.replicas[node].rw.state_words()
+    }
+
+    /// Raw seqlock version of `node`'s replica. Test-only probe: reads must
+    /// leave it unchanged.
+    #[doc(hidden)]
+    pub fn replica_version(&self, node: usize) -> u64 {
+        self.replicas[node].version.current()
     }
 
     /// Runs `f` against `node`'s replica under its read lock, after
@@ -683,6 +806,124 @@ mod tests {
             let w = (id >> 32) as usize;
             assert_eq!(id & 0xffff_ffff, next[w], "FIFO violated (centralized)");
             next[w] += 1;
+        }
+    }
+
+    /// The tentpole invariant, end to end: in optimistic mode a caught-up
+    /// read performs zero atomic RMWs and zero stores to any shared
+    /// cacheline — every lock state word and the version word are
+    /// bit-identical across any number of reads, all of which take the
+    /// optimistic fast path.
+    #[test]
+    fn optimistic_read_makes_no_shared_stores() {
+        let topo = Topology::new(2, 4, 1);
+        let asg = topo.assign_workers(1);
+        let nr = NodeReplicated::with_hooks_and_fairness(
+            Recorder::new(),
+            asg,
+            64,
+            crate::NoopHooks,
+            FairnessMode::Optimistic,
+        );
+        let t = nr.register(0);
+        for i in 0..10u64 {
+            nr.execute(&t, RecorderOp::Record(i));
+        }
+
+        let words_before = nr.replica_lock_state_words(0);
+        let version_before = nr.replica_version(0);
+        assert_eq!(version_before % 2, 0, "replica stable between batches");
+        const READS: u64 = 1000;
+        for _ in 0..READS {
+            assert_eq!(nr.execute(&t, RecorderOp::Count), RecorderResp::Count(10));
+        }
+        assert_eq!(
+            nr.replica_lock_state_words(0),
+            words_before,
+            "an optimistic read stored to a lock state word"
+        );
+        assert_eq!(
+            nr.replica_version(0),
+            version_before,
+            "an optimistic read bumped the version"
+        );
+        assert_eq!(nr.read_fast_optimistic(), READS, "reads left the fast path");
+        assert_eq!(nr.read_validation_failures(), 0);
+        assert_eq!(nr.read_slow_paths(), 0);
+    }
+
+    /// The Throughput default's write-free-window skip: with writes quiet,
+    /// repeated reads converge to the optimistic path (at most one locked
+    /// read per reader per write), and a write re-opens the window.
+    #[test]
+    fn throughput_mode_skips_slot_rmw_in_write_free_window() {
+        let (nr, _) = small_nr(1, 64);
+        let t = nr.register(0);
+        nr.execute(&t, RecorderOp::Record(1));
+        for _ in 0..100u64 {
+            nr.execute(&t, RecorderOp::Count);
+        }
+        // First read after the write is locked (records the version), the
+        // other 99 ride the write-free window.
+        assert_eq!(nr.read_fast_optimistic(), 99);
+        nr.execute(&t, RecorderOp::Record(2));
+        nr.execute(&t, RecorderOp::Count);
+        assert_eq!(
+            nr.read_fast_optimistic(),
+            99,
+            "read after a write must re-probe under the lock"
+        );
+        nr.execute(&t, RecorderOp::Count);
+        assert_eq!(nr.read_fast_optimistic(), 100, "window re-opens");
+    }
+
+    #[test]
+    fn optimistic_and_adaptive_modes_preserve_correctness() {
+        for fairness in [FairnessMode::Optimistic, FairnessMode::Adaptive] {
+            const THREADS: usize = 4;
+            const PER_THREAD: u64 = 300;
+            let topo = Topology::new(2, 4, 1);
+            let asg = topo.assign_workers(THREADS);
+            let nr = Arc::new(NodeReplicated::with_hooks_and_fairness(
+                Recorder::new(),
+                asg,
+                128,
+                crate::NoopHooks,
+                fairness,
+            ));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|w| {
+                    let nr = Arc::clone(&nr);
+                    std::thread::spawn(move || {
+                        let t = nr.register(w);
+                        let mut mine = 0u64;
+                        for i in 0..PER_THREAD {
+                            nr.execute(&t, RecorderOp::Record((w as u64) << 32 | i));
+                            mine += 1;
+                            match nr.execute(&t, RecorderOp::Count) {
+                                RecorderResp::Count(c) => {
+                                    assert!(
+                                        c >= mine,
+                                        "read missed completed updates ({fairness:?})"
+                                    )
+                                }
+                                other => panic!("unexpected resp {other:?}"),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let hist = nr.with_replica(0, |r| r.history().to_vec());
+            assert_eq!(hist.len() as u64, THREADS as u64 * PER_THREAD);
+            let mut next = [0u64; THREADS];
+            for id in &hist {
+                let w = (id >> 32) as usize;
+                assert_eq!(id & 0xffff_ffff, next[w], "FIFO violated ({fairness:?})");
+                next[w] += 1;
+            }
         }
     }
 

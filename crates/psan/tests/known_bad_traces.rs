@@ -68,6 +68,25 @@ fn cases() -> Vec<Case> {
             expect: &[ViolationKind::MissingFence],
         },
         Case {
+            name: "version_publish_unfenced: replica bytes flushed but the \
+                   version-style publish (seqlock write_end analogue) is \
+                   issued before the draining sfence",
+            trace: vec![
+                // A combiner mutates the replica inside its version bracket,
+                // flushes the dirty lines, then publishes the even version
+                // word that readers trust — but before the fence drains the
+                // flushes, so a crash could persist the publish without the
+                // replica bytes it covers.
+                store(0, 1, 0, 128),
+                flush(1, 1, 0),
+                flush(2, 1, 64),
+                publish(3, 1, 4096, vec![(0, 128)], PublishTag::CheckpointMarker),
+                flush(4, 1, 4096),
+                fence(5, 1),
+            ],
+            expect: &[ViolationKind::MissingFence],
+        },
+        Case {
             name: "flush_after_publish: payload flush issued only after the emptyBit store",
             trace: vec![
                 store(0, 1, 0, 32),

@@ -5,6 +5,7 @@
 //!            [--conn-threads 2] [--queue-depth 128]
 //!            [--durability buffered|durable] [--epsilon 64]
 //!            [--log-size 4096] [--latency off|optane|optane/N]
+//!            [--fairness adaptive|optimistic|throughput|centralized|fair]
 //!            [--crash-sim]
 //! ```
 //!
@@ -14,13 +15,14 @@
 
 use prep_serve::server::{ServeConfig, Server};
 use prep_serve::signals;
-use prep_uc::{DurabilityLevel, LatencyModel};
+use prep_uc::{DurabilityLevel, FairnessMode, LatencyModel};
 
 fn usage() -> ! {
     eprintln!(
         "usage: prep-serve [--addr A] [--shards N] [--executors N] [--conn-threads N]\n\
          \x20                 [--queue-depth N] [--durability buffered|durable]\n\
          \x20                 [--epsilon N] [--log-size N] [--latency off|optane|optane/N]\n\
+         \x20                 [--fairness adaptive|optimistic|throughput|centralized|fair]\n\
          \x20                 [--crash-sim]"
     );
     std::process::exit(2);
@@ -68,6 +70,16 @@ fn main() {
             "--epsilon" => cfg.epsilon = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--log-size" => cfg.log_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--latency" => cfg.latency = parse_latency(&val(&mut args)),
+            "--fairness" => {
+                cfg.fairness = match val(&mut args).as_str() {
+                    "adaptive" => FairnessMode::Adaptive,
+                    "optimistic" => FairnessMode::Optimistic,
+                    "throughput" => FairnessMode::Throughput,
+                    "centralized" => FairnessMode::ThroughputCentralized,
+                    "fair" => FairnessMode::StarvationFree,
+                    _ => usage(),
+                }
+            }
             "--crash-sim" => cfg.crash_sim = true,
             "--help" | "-h" => usage(),
             _ => usage(),

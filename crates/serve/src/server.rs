@@ -71,7 +71,7 @@ use prep_seqds::hashmap::{HashMap, MapOp, MapResp};
 use prep_shard::{shard_index, ShardedStore};
 use prep_sync::{spin_until, TicketLock, TryLock, TryLockGuard, Waiter};
 use prep_topology::{ThreadAssignment, Topology};
-use prep_uc::{DurabilityLevel, LatencyModel, PmemRuntime, PrepConfig};
+use prep_uc::{DurabilityLevel, FairnessMode, LatencyModel, PmemRuntime, PrepConfig};
 
 use crate::proto::{self, err_code, AckLevel, AdminCmd, Request, Response, WireShard, WireStats};
 use crate::signals;
@@ -111,6 +111,11 @@ pub struct ServeConfig {
     pub log_size: u64,
     /// Simulated NVM latency model.
     pub latency: LatencyModel,
+    /// Replica read-path fairness mode. Defaults to
+    /// [`FairnessMode::Adaptive`]: GETs start on the distributed-lock slot
+    /// path and migrate to optimistic lock-free reads when the observed
+    /// read/write mix warrants it.
+    pub fairness: FairnessMode,
     /// Enable crash simulation (`ADMIN CRASH`); costs image upkeep.
     pub crash_sim: bool,
     /// Poll the process signal flag ([`signals::shutdown_requested`]) from
@@ -130,6 +135,7 @@ impl Default for ServeConfig {
             epsilon: 64,
             log_size: 4096,
             latency: LatencyModel::off(),
+            fairness: FairnessMode::Adaptive,
             crash_sim: false,
             watch_signals: false,
         }
@@ -148,6 +154,7 @@ impl ServeConfig {
             .with_log_size(self.log_size)
             .with_epsilon(self.epsilon)
             .with_runtime(PmemRuntime::new(self.latency, self.crash_sim))
+            .with_fairness(self.fairness)
     }
 }
 
@@ -988,6 +995,8 @@ fn wire_stats(store: &Arc<Store>) -> WireStats {
                 completed_tail: s.completed_tail,
                 durable_watermark: s.durable_watermark,
                 read_slow_paths: s.read_slow_paths,
+                read_fast_optimistic: s.read_fast_optimistic,
+                read_validation_failures: s.read_validation_failures,
                 clflush: s.stats.clflush,
                 clflushopt: s.stats.clflushopt,
                 sfence: s.stats.sfence,

@@ -25,6 +25,12 @@ pub struct ShardMetrics {
     pub durable_watermark: u64,
     /// Read-only ops that missed the zero-contention read fast path.
     pub read_slow_paths: u64,
+    /// Validated optimistic (lock-free) fast-path reads: zero atomic RMWs,
+    /// zero shared-cacheline stores each.
+    pub read_fast_optimistic: u64,
+    /// Optimistic reads that failed seqlock validation (a combiner
+    /// overlapped) and fell back to the locked path.
+    pub read_validation_failures: u64,
     /// Persistence-operation counters. Per-shard attribution is only
     /// meaningful in per-shard-runtime mode; with a shared runtime every
     /// shard reads the same global counters (see
@@ -43,6 +49,12 @@ impl ShardMetrics {
                 .durable_watermark
                 .saturating_sub(earlier.durable_watermark),
             read_slow_paths: self.read_slow_paths.saturating_sub(earlier.read_slow_paths),
+            read_fast_optimistic: self
+                .read_fast_optimistic
+                .saturating_sub(earlier.read_fast_optimistic),
+            read_validation_failures: self
+                .read_validation_failures
+                .saturating_sub(earlier.read_validation_failures),
             stats: self.stats.delta(&earlier.stats),
         }
     }
@@ -97,6 +109,16 @@ impl StoreMetrics {
         self.shards.iter().map(|s| s.read_slow_paths).sum()
     }
 
+    /// Total validated optimistic fast-path reads across shards.
+    pub fn total_read_fast_optimistic(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_fast_optimistic).sum()
+    }
+
+    /// Total optimistic validation failures across shards.
+    pub fn total_read_validation_failures(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_validation_failures).sum()
+    }
+
     /// Store-wide persistence counters: the shared counters read once when
     /// all shards share a runtime, the per-shard sum otherwise.
     pub fn total_stats(&self) -> PmemStatsSnapshot {
@@ -132,6 +154,8 @@ mod tests {
             completed_tail: ct,
             durable_watermark: wm,
             read_slow_paths: slow,
+            read_fast_optimistic: slow * 10,
+            read_validation_failures: slow / 2,
             stats: PmemStatsSnapshot {
                 clflush,
                 ..Default::default()
@@ -160,6 +184,8 @@ mod tests {
         assert_eq!(d.shards[1].completed_tail, 1);
         assert_eq!(d.total_completed(), 16);
         assert_eq!(d.total_read_slow_paths(), 5);
+        assert_eq!(d.total_read_fast_optimistic(), 50);
+        assert_eq!(d.total_read_validation_failures(), 3);
         assert_eq!(d.total_stats().clflush, 35);
     }
 

@@ -260,6 +260,21 @@ impl<T: SequentialObject> ShardedStore<T> {
         self.shards.iter().map(|s| s.read_slow_paths()).sum()
     }
 
+    /// Validated optimistic (lock-free) fast-path reads, summed over every
+    /// shard's replicas (see [`PrepUc::read_fast_optimistic`]).
+    pub fn read_fast_optimistic(&self) -> u64 {
+        self.shards.iter().map(|s| s.read_fast_optimistic()).sum()
+    }
+
+    /// Optimistic reads that failed seqlock validation, summed over every
+    /// shard's replicas (see [`PrepUc::read_validation_failures`]).
+    pub fn read_validation_failures(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read_validation_failures())
+            .sum()
+    }
+
     /// The shared runtime, when the store was built with one.
     pub fn shared_runtime(&self) -> Option<&Arc<PmemRuntime>> {
         self.shared_runtime.as_ref()
@@ -307,6 +322,8 @@ impl<T: SequentialObject> ShardedStore<T> {
                     completed_tail: s.completed_tail(),
                     durable_watermark: s.durable_watermark(),
                     read_slow_paths: s.read_slow_paths(),
+                    read_fast_optimistic: s.read_fast_optimistic(),
+                    read_validation_failures: s.read_validation_failures(),
                     stats: s.stats(),
                 })
                 .collect(),

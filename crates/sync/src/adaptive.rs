@@ -1,0 +1,271 @@
+//! Contention-adaptive read-mode selection.
+//!
+//! The readscale figure shows no single read path wins everywhere:
+//!
+//! * **Optimistic** (seqlock-validated, [`crate::SeqVersion`]) is unbeatable
+//!   when writes are rare — zero RMWs, zero shared-line stores — but burns
+//!   retries when combiners churn the replica;
+//! * **Distributed** ([`crate::DistRwLock`] dedicated slots) keeps readers
+//!   off each other's cachelines but costs a SeqCst RMW + load per read,
+//!   which on low-contention hardware (or a single-CPU VM) is strictly more
+//!   expensive than the centralized CAS;
+//! * **Centralized** (one shared reader counter) has the cheapest single
+//!   acquisition and wins when writes are frequent enough that reader-side
+//!   cacheline ping-pong is noise against combiner traffic.
+//!
+//! [`AdaptiveSelector`] picks between them at runtime from a windowed view
+//! of the read/write mix and the optimistic validation-failure rate. It is
+//! deliberately *advisory*: every mode is correct for every workload (the
+//! slot and shared paths are both real lock acquisitions, and optimistic
+//! reads validate), so the selector can be racy, cheap, and wrong for a
+//! window without affecting linearizability — only throughput.
+//!
+//! Hysteresis: a mode switch requires the same decision on two consecutive
+//! windows. Without it, a workload sitting near a threshold flip-flops
+//! every window and pays the worst of both paths (cold cachelines after
+//! every switch).
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+/// How a read-only operation should acquire its replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ReadMode {
+    /// Count on the shared overflow line (one RMW on one hot line).
+    Centralized = 0,
+    /// Mark the reader's dedicated slot line (one RMW on a private line).
+    Distributed = 1,
+    /// Seqlock-validated lock-free read (loads only); falls back to
+    /// [`ReadMode::Distributed`] on validation failure.
+    Optimistic = 2,
+}
+
+impl ReadMode {
+    fn from_u8(v: u8) -> ReadMode {
+        match v {
+            0 => ReadMode::Centralized,
+            1 => ReadMode::Distributed,
+            _ => ReadMode::Optimistic,
+        }
+    }
+}
+
+/// Totals observed by the selector at evaluation time. All fields are
+/// monotonically increasing counters; the selector differences them against
+/// the previous window itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadWindow {
+    /// Read-only operations completed (any path).
+    pub reads: u64,
+    /// Write brackets completed (combiner batches, not individual ops).
+    pub writes: u64,
+    /// Optimistic reads that failed validation.
+    pub validation_failures: u64,
+}
+
+/// Evaluate roughly every this many reads per reader (callers amortize the
+/// selector to one [`AdaptiveSelector::observe`] per
+/// `WINDOW_READS_PER_READER` of their own reads).
+pub const WINDOW_READS_PER_READER: u64 = 256;
+
+/// Validation failures per read above which optimism is clearly losing:
+/// fail rate > 1/FAIL_RATE_DENOM disqualifies [`ReadMode::Optimistic`].
+const FAIL_RATE_DENOM: u64 = 16;
+
+/// Reads-per-write at or above which the workload counts as read-mostly
+/// (optimism wins: most reads complete between combiner batches).
+const READ_MOSTLY_RATIO: u64 = 8;
+
+/// Reads-per-write below which the workload counts as write-heavy
+/// (centralize: reader slot traffic is noise against combiner churn, and
+/// the writer's drain scan over β+1 slot lines is the real cost).
+const WRITE_HEAVY_RATIO: u64 = 2;
+
+/// A windowed, hysteresis-damped selector for [`ReadMode`].
+///
+/// Decision rule per window (deltas of [`ReadWindow`] totals):
+///
+/// 1. failure rate > 1/16 of reads → [`ReadMode::Distributed`] (optimism is
+///    thrashing against combiners);
+/// 2. reads ≥ 8× writes (or no writes at all) → [`ReadMode::Optimistic`];
+/// 3. reads < 2× writes → [`ReadMode::Centralized`];
+/// 4. otherwise → [`ReadMode::Distributed`].
+///
+/// A switch is applied only when two consecutive windows agree.
+#[derive(Debug)]
+pub struct AdaptiveSelector {
+    /// Current mode, read by every adaptive read; padded so the (rare)
+    /// selector stores don't invalidate a line readers also need for
+    /// something else.
+    mode: CachePadded<AtomicU8>,
+    /// Mode proposed by the previous window, for hysteresis; `NO_PENDING`
+    /// when the previous window agreed with the current mode.
+    // shared-line: touched only on the amortized once-per-window
+    // evaluation path, never per read; padding four cold words would
+    // waste three cachelines.
+    pending: AtomicU8,
+    /// Totals at the last evaluation, so observe() can difference.
+    // shared-line: cold bookkeeping, window-rate writes only (see pending).
+    last_reads: AtomicU64,
+    // shared-line: cold bookkeeping, window-rate writes only (see pending).
+    last_writes: AtomicU64,
+    // shared-line: cold bookkeeping, window-rate writes only (see pending).
+    last_failures: AtomicU64,
+}
+
+const NO_PENDING: u8 = u8::MAX;
+
+impl AdaptiveSelector {
+    /// Creates a selector starting in `initial` mode.
+    pub fn new(initial: ReadMode) -> Self {
+        AdaptiveSelector {
+            mode: CachePadded::new(AtomicU8::new(initial as u8)),
+            pending: AtomicU8::new(NO_PENDING),
+            last_reads: AtomicU64::new(0),
+            last_writes: AtomicU64::new(0),
+            last_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Current advisory mode (one Relaxed load; safe to call per read).
+    #[inline]
+    pub fn mode(&self) -> ReadMode {
+        // ord: advisory routing hint; any stale value is still correct
+        // (module docs), so no edge is required.
+        ReadMode::from_u8(self.mode.load(Ordering::Relaxed))
+    }
+
+    /// Feeds the selector a fresh view of the monotone totals and applies
+    /// the decision rule. Callers amortize this (e.g. once per
+    /// [`WINDOW_READS_PER_READER`] of their own reads); concurrent calls
+    /// race benignly — a double-evaluated window just re-confirms or
+    /// re-proposes the same decision.
+    pub fn observe(&self, totals: ReadWindow) -> ReadMode {
+        // Selector bookkeeping is advisory end to end: Relaxed everywhere.
+        // Swaps keep the counters monotone per-field but windows may
+        // interleave, which only perturbs the (heuristic) deltas.
+        let dr = totals
+            .reads
+            // ord: Relaxed swap; advisory windowed delta (see above).
+            .saturating_sub(self.last_reads.swap(totals.reads, Ordering::Relaxed));
+        let dw = totals
+            .writes
+            // ord: Relaxed swap; advisory windowed delta (see above).
+            .saturating_sub(self.last_writes.swap(totals.writes, Ordering::Relaxed));
+        let df = totals.validation_failures.saturating_sub(
+            self.last_failures
+                // ord: Relaxed swap; advisory windowed delta (see above).
+                .swap(totals.validation_failures, Ordering::Relaxed),
+        );
+
+        let decision = Self::decide(dr, dw, df);
+        // ord: advisory mode word; any stale value routes correctly.
+        let current = ReadMode::from_u8(self.mode.load(Ordering::Relaxed));
+        if decision == current {
+            // ord: advisory hysteresis word; races re-propose at worst.
+            self.pending.store(NO_PENDING, Ordering::Relaxed);
+            return current;
+        }
+        // ord: advisory hysteresis word; races re-propose at worst.
+        if self.pending.load(Ordering::Relaxed) == decision as u8 {
+            // Two consecutive windows agree: switch.
+            // ord: advisory hysteresis word; races re-propose at worst.
+            self.pending.store(NO_PENDING, Ordering::Relaxed);
+            // ord: advisory mode word; readers may lag a window.
+            self.mode.store(decision as u8, Ordering::Relaxed);
+            return decision;
+        }
+        // ord: advisory hysteresis word; races re-propose at worst.
+        self.pending.store(decision as u8, Ordering::Relaxed);
+        current
+    }
+
+    /// The pure decision rule (exposed for unit tests).
+    pub fn decide(reads: u64, writes: u64, failures: u64) -> ReadMode {
+        if failures.saturating_mul(FAIL_RATE_DENOM) > reads {
+            return ReadMode::Distributed;
+        }
+        if writes == 0 || reads >= writes.saturating_mul(READ_MOSTLY_RATIO) {
+            return ReadMode::Optimistic;
+        }
+        if reads < writes.saturating_mul(WRITE_HEAVY_RATIO) {
+            return ReadMode::Centralized;
+        }
+        ReadMode::Distributed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(reads: u64, writes: u64, failures: u64) -> ReadWindow {
+        ReadWindow {
+            reads,
+            writes,
+            validation_failures: failures,
+        }
+    }
+
+    #[test]
+    fn decision_rule_covers_the_regimes() {
+        // Write-free and read-mostly → optimistic.
+        assert_eq!(AdaptiveSelector::decide(1000, 0, 0), ReadMode::Optimistic);
+        assert_eq!(AdaptiveSelector::decide(800, 100, 0), ReadMode::Optimistic);
+        // Mixed → distributed.
+        assert_eq!(AdaptiveSelector::decide(500, 100, 0), ReadMode::Distributed);
+        // Write-heavy → centralized.
+        assert_eq!(AdaptiveSelector::decide(100, 100, 0), ReadMode::Centralized);
+        // Optimism thrashing (failures > 1/16 of reads) → distributed, even
+        // if the mix looks read-mostly.
+        assert_eq!(
+            AdaptiveSelector::decide(1000, 10, 100),
+            ReadMode::Distributed
+        );
+        // Degenerate window (no reads) must not divide by zero.
+        assert_eq!(AdaptiveSelector::decide(0, 50, 0), ReadMode::Centralized);
+    }
+
+    #[test]
+    fn hysteresis_needs_two_agreeing_windows() {
+        let s = AdaptiveSelector::new(ReadMode::Distributed);
+        assert_eq!(s.mode(), ReadMode::Distributed);
+
+        // One read-mostly window proposes but does not switch.
+        assert_eq!(s.observe(w(1000, 1, 0)), ReadMode::Distributed);
+        assert_eq!(s.mode(), ReadMode::Distributed);
+        // The second agreeing window switches.
+        assert_eq!(s.observe(w(2000, 2, 0)), ReadMode::Optimistic);
+        assert_eq!(s.mode(), ReadMode::Optimistic);
+    }
+
+    #[test]
+    fn disagreeing_window_resets_the_proposal() {
+        let s = AdaptiveSelector::new(ReadMode::Distributed);
+        // Propose optimistic…
+        s.observe(w(1000, 1, 0));
+        // …then a write-heavy window proposes centralized instead: no switch
+        // yet in either direction.
+        assert_eq!(s.observe(w(1100, 101, 0)), ReadMode::Distributed);
+        assert_eq!(s.mode(), ReadMode::Distributed);
+        // And a window matching the current mode clears the proposal, so a
+        // single later optimistic window still does not switch.
+        s.observe(w(1600, 201, 0));
+        assert_eq!(s.observe(w(2600, 202, 0)), ReadMode::Distributed);
+        // Only the agreeing follow-up switches.
+        assert_eq!(s.observe(w(3600, 203, 0)), ReadMode::Optimistic);
+    }
+
+    #[test]
+    fn windows_are_differenced_not_cumulative() {
+        let s = AdaptiveSelector::new(ReadMode::Optimistic);
+        s.observe(w(10_000, 10, 0));
+        // Totals keep growing, but the *delta* is write-heavy; two such
+        // windows must drag the mode to centralized despite the cumulative
+        // totals still looking read-mostly.
+        s.observe(w(10_100, 110, 0));
+        assert_eq!(s.observe(w(10_200, 210, 0)), ReadMode::Centralized);
+    }
+}

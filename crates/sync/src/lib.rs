@@ -19,7 +19,13 @@
 //! * the [`ReplicaLock`] trait abstracting over the three, so the replica
 //!   holds whichever one the fairness mode selects;
 //! * a **strong try reader-writer lock**, required by the CX-UC/CX-PUC
-//!   baselines of Correia et al. ([`StrongTryRwLock`]).
+//!   baselines of Correia et al. ([`StrongTryRwLock`]);
+//! * a **seqlock-style version cell** bracketing combiner writes so
+//!   read-only operations can run lock-free and validate afterwards —
+//!   zero RMWs, zero shared-line stores per read ([`SeqVersion`]);
+//! * a **contention-adaptive selector** choosing Centralized / Distributed /
+//!   Optimistic read routing from the observed read/write mix and
+//!   validation-failure rate ([`AdaptiveSelector`]).
 //!
 //! All locks here are spin locks in the tradition of the originals, but every
 //! wait loop goes through [`Waiter`], which spins briefly and then yields to
@@ -31,19 +37,23 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod adaptive;
 mod dist_rw;
 mod phase_fair;
 mod replica_lock;
 mod rw_spin;
+mod seq_version;
 mod strong_try;
 mod ticket;
 mod trylock;
 mod waiter;
 
+pub use adaptive::{AdaptiveSelector, ReadMode, ReadWindow, WINDOW_READS_PER_READER};
 pub use dist_rw::{DistReadGuard, DistRwLock, DistWriteGuard, ReaderId};
 pub use phase_fair::{PhaseFairReadGuard, PhaseFairRwLock, PhaseFairWriteGuard};
 pub use replica_lock::ReplicaLock;
 pub use rw_spin::{RwSpinLock, RwSpinReadGuard, RwSpinWriteGuard};
+pub use seq_version::SeqVersion;
 pub use strong_try::{StrongTryReadGuard, StrongTryRwLock, StrongTryWriteGuard};
 pub use ticket::{TicketGuard, TicketLock};
 pub use trylock::{TryLock, TryLockGuard};
