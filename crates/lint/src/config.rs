@@ -224,7 +224,10 @@ impl Default for Config {
             // protocol runs through (ISSUE 5: nr, sync, pmem, core, cx,
             // shard) plus the network service, whose pipeline state
             // machine (queue depths, drain barriers, ack watermarks) is
-            // all explicit atomics.
+            // all explicit atomics. crates/mc stays out of scope on
+            // purpose: the model checker consumes `Ordering` values as
+            // data (its cell shims and engine match on every ordering),
+            // so per-site `ord:` justifications there would be noise.
             ordering: RuleScope {
                 paths: hot(&["nr", "sync", "pmem", "core", "cx", "shard", "serve"]),
                 allow: vec![],

@@ -12,6 +12,8 @@ pub mod rules {
     pub const ATOMIC_SEQCST: &str = "atomic-seqcst";
     /// `Relaxed` on a pointer-publishing store.
     pub const ATOMIC_RELAXED_PUBLISH: &str = "atomic-relaxed-publish";
+    /// `fence`/`compiler_fence` call without a `// ord:` justification.
+    pub const ATOMIC_FENCE_ORDERING: &str = "atomic-fence-ordering";
     /// Unpadded atomic field in a `Sync`-shared struct.
     pub const CACHELINE_PADDING: &str = "cacheline-padding";
     /// Persist primitive called without a psan trace hook in scope.
@@ -32,6 +34,7 @@ pub mod rules {
         ATOMIC_ORDERING,
         ATOMIC_SEQCST,
         ATOMIC_RELAXED_PUBLISH,
+        ATOMIC_FENCE_ORDERING,
         CACHELINE_PADDING,
         PERSIST_HOOK,
         UNSAFE_MISSING_SAFETY,

@@ -19,6 +19,12 @@ use crate::config::Config;
 use crate::diag::{rules, Diagnostic};
 use crate::model::{CallSite, FileModel};
 
+/// Free functions that take an `Ordering` argument: memory fences. A
+/// standalone fence is *more* protocol-critical than a per-access
+/// ordering (it synchronizes accesses that are not even visible at the
+/// call site), so it gets its own rule id.
+pub const FENCE_FUNCTIONS: &[&str] = &["fence", "compiler_fence"];
+
 /// Methods that take explicit `Ordering` arguments on std atomics.
 pub const ATOMIC_METHODS: &[&str] = &[
     "load",
@@ -75,6 +81,34 @@ pub fn run(path: &str, model: &FileModel<'_>, cfg: &Config, out: &mut Vec<Diagno
         return;
     }
     for call in &model.calls {
+        if !call.is_method && FENCE_FUNCTIONS.contains(&call.method.as_str()) {
+            let ords = orderings_in(model, call);
+            if ords.is_empty() || model.in_test(call.byte) {
+                continue;
+            }
+            if !model.has_marker(call.line, call.end_line, "ord:") {
+                out.push(
+                    Diagnostic::new(
+                        path,
+                        call.line,
+                        call.col,
+                        rules::ATOMIC_FENCE_ORDERING,
+                        format!(
+                            "`{}({})` lacks a // ord: justification — a standalone fence \
+                             orders accesses invisible at the call site; name them",
+                            call.method,
+                            ords.join("/")
+                        ),
+                    )
+                    .suggest(
+                        "add `// ord: <which accesses this fence orders, and with what>` \
+                         at the call",
+                    )
+                    .span_to(call.end_line),
+                );
+            }
+            continue;
+        }
         if !call.is_method || !ATOMIC_METHODS.contains(&call.method.as_str()) {
             continue;
         }

@@ -10,7 +10,7 @@
 use prep_lint::{lint_files, Config};
 
 const BAD_ATOMICS: &str = r#"//! Known-bad: explicit orderings with no justification.
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{fence, compiler_fence, AtomicPtr, AtomicU64, Ordering};
 
 pub struct Publisher {
     // shared-line: fixture — padding is not under test here.
@@ -30,6 +30,15 @@ impl Publisher {
 
     pub fn relaxed_publish(&self, p: *mut u64) {
         self.slot.store(p, Ordering::Relaxed);
+    }
+
+    pub fn unjustified_fence(&self) {
+        fence(Ordering::Acquire);
+    }
+
+    pub fn justified_fence(&self) {
+        // ord: fixture — orders the peeked reads above the re-load below.
+        compiler_fence(Ordering::Release);
     }
 }
 "#;
@@ -152,6 +161,14 @@ const EXPECTED: &[Expected] = &[
         rule: "atomic-ordering",
         msg: "`store` with explicit Ordering::Relaxed lacks a // ord: justification",
         sugg: "add `// ord: <why this ordering is sufficient>` at the call",
+    },
+    Expected {
+        path: "crates/sync/src/bad_atomics.rs",
+        line: 25,
+        col: 9,
+        rule: "atomic-fence-ordering",
+        msg: "`fence(Acquire)` lacks a // ord: justification",
+        sugg: "add `// ord: <which accesses this fence orders, and with what>`",
     },
     // -- rule family 2: cacheline-padding --
     Expected {

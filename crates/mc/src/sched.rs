@@ -1,0 +1,174 @@
+//! The DFS schedule: the decision tree the checker explores.
+//!
+//! An execution is driven by a sequence of *choices* — "which thread
+//! performs the next op" and "which store does this load read". The
+//! checker replays a recorded prefix deterministically and appends fresh
+//! choices past it; after each execution the deepest non-exhausted choice
+//! is advanced (depth-first search over the whole tree).
+//!
+//! Only branching points (`n > 1`) are recorded: forced moves are
+//! recomputed identically on replay, so the schedule encoding stays short
+//! and doubles as the counterexample replay string.
+
+/// One recorded branching decision.
+#[derive(Clone, Copy, Debug)]
+pub struct Choice {
+    /// Arity observed when the choice was first made. `0` means "unknown"
+    /// (a user-supplied replay string); arity is then not validated.
+    pub n: u32,
+    /// Branch taken (index into the deterministic candidate order).
+    pub chosen: u32,
+}
+
+/// The DFS state carried across executions of one check.
+#[derive(Default, Debug)]
+pub struct Schedule {
+    /// Recorded branching decisions, in execution order.
+    pub choices: Vec<Choice>,
+    /// Replay cursor for the current execution.
+    pub cursor: usize,
+    /// True when the schedule was supplied by [`crate::Builder::replay`]:
+    /// run exactly one execution, never record or advance.
+    pub replay_only: bool,
+}
+
+impl Schedule {
+    /// Resolves the next decision of arity `n`, recording it if fresh.
+    /// Returns the chosen branch, or `Err` with the recorded arity on a
+    /// determinism violation (the execution diverged from its recording).
+    pub fn choose(&mut self, n: usize) -> Result<usize, u32> {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            return Ok(0);
+        }
+        let idx = if self.cursor < self.choices.len() {
+            let c = self.choices[self.cursor];
+            if c.n != 0 && c.n != n as u32 {
+                return Err(c.n);
+            }
+            (c.chosen as usize).min(n - 1)
+        } else {
+            if !self.replay_only {
+                self.choices.push(Choice {
+                    n: n as u32,
+                    chosen: 0,
+                });
+            }
+            0
+        };
+        self.cursor += 1;
+        Ok(idx)
+    }
+
+    /// Advances to the next schedule in DFS order. Returns false when the
+    /// whole tree is exhausted.
+    pub fn advance(&mut self) -> bool {
+        // Drop any stale suffix beyond what the last execution actually
+        // consumed (an aborted execution may not have revisited deep
+        // choices, but those are exactly the ones being exhausted).
+        while let Some(c) = self.choices.last_mut() {
+            if c.chosen + 1 < c.n {
+                c.chosen += 1;
+                self.cursor = 0;
+                return true;
+            }
+            self.choices.pop();
+        }
+        false
+    }
+
+    /// Resets the replay cursor for a fresh execution.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Encodes the *taken* branches as a comma-separated replay string.
+    pub fn encode(&self) -> String {
+        self.choices
+            .iter()
+            .map(|c| c.chosen.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Builds a replay-only schedule from [`encode`](Self::encode) output.
+    pub fn decode(s: &str) -> Schedule {
+        let choices = s
+            .split(',')
+            .filter(|p| !p.trim().is_empty())
+            .map(|p| Choice {
+                n: 0,
+                chosen: p.trim().parse().unwrap_or(0),
+            })
+            .collect();
+        Schedule {
+            choices,
+            cursor: 0,
+            replay_only: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_enumerates_all_leaves() {
+        // Two binary choices -> four executions.
+        let mut s = Schedule::default();
+        let mut leaves = Vec::new();
+        loop {
+            s.rewind();
+            let a = s.choose(2).unwrap();
+            let b = s.choose(2).unwrap();
+            leaves.push((a, b));
+            if !s.advance() {
+                break;
+            }
+        }
+        assert_eq!(leaves, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn unary_choices_are_not_recorded() {
+        let mut s = Schedule::default();
+        assert_eq!(s.choose(1).unwrap(), 0);
+        assert!(s.choices.is_empty());
+        assert_eq!(s.cursor, 0);
+    }
+
+    #[test]
+    fn varying_arity_below_an_advanced_prefix() {
+        // First execution: choice arities (2, 3); advancing explores the
+        // deepest first.
+        let mut s = Schedule::default();
+        s.choose(2).unwrap();
+        s.choose(3).unwrap();
+        assert!(s.advance());
+        s.rewind();
+        assert_eq!(s.choose(2).unwrap(), 0);
+        assert_eq!(s.choose(3).unwrap(), 1);
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let mut s = Schedule::default();
+        s.choose(2).unwrap();
+        s.rewind();
+        assert!(s.choose(3).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut s = Schedule::default();
+        s.choose(3).unwrap();
+        s.choose(2).unwrap();
+        s.advance();
+        s.advance();
+        let enc = s.encode();
+        let r = Schedule::decode(&enc);
+        assert!(r.replay_only);
+        assert_eq!(r.choices.len(), s.choices.len());
+    }
+}

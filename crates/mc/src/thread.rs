@@ -1,0 +1,113 @@
+//! Model-aware thread spawn/join/yield.
+//!
+//! Inside a [`crate::Builder`] closure these route through the cooperative
+//! scheduler: `spawn` announces the child to the engine (the child's first
+//! op is a schedulable "start"), `join` folds into the spin-with-yield
+//! protocol (so join cycles surface as livelock failures rather than
+//! hanging the checker), and `yield_now` is a scheduling hint that
+//! deprioritizes the caller until a write lands.
+//!
+//! Outside a model execution every function falls through to
+//! `std::thread`, so test helpers can share code with production paths.
+
+use std::panic::{catch_unwind, AssertUnwindSafe, Location};
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{current_tid, engine};
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<T>>>,
+    },
+    Os(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (model or OS) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// In a model execution a panic in the child is recorded as the
+    /// execution's failure and tears the whole execution down, so the
+    /// `Err` arm is effectively unreachable there; it exists for API
+    /// parity with `std`.
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Os(h) => h.join(),
+            Inner::Model {
+                tid: target,
+                result,
+            } => {
+                let me = current_tid().expect("model JoinHandle joined outside the model");
+                let caller = Location::caller();
+                let e = engine();
+                while !e.join_try(me, target, caller) {}
+                match result.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread produced no result".to_string())),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread; a model thread when called inside a checker execution,
+/// a plain OS thread otherwise.
+#[track_caller]
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let Some(parent) = current_tid() else {
+        return JoinHandle(Inner::Os(std::thread::spawn(f)));
+    };
+    let caller = Location::caller();
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let body = Box::new(move || {
+        let e = engine();
+        let tid = current_tid().expect("model body without bound tid");
+        // The start op parks until the scheduler first picks this thread.
+        match catch_unwind(AssertUnwindSafe(|| {
+            e.start_op(tid, caller);
+            f()
+        })) {
+            Ok(v) => {
+                *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| e.finish_op(tid, caller))) {
+                    e.record_panic(&*p);
+                    e.force_finish(tid);
+                }
+            }
+            Err(p) => {
+                e.record_panic(&*p);
+                e.force_finish(tid);
+            }
+        }
+    });
+    let tid = engine().spawn(parent, body, caller);
+    JoinHandle(Inner::Model { tid, result })
+}
+
+/// Cooperative yield: inside the model, hints the scheduler that this
+/// thread is spinning (it is deprioritized until some write lands, and a
+/// long write-free yield streak is reported as livelock).
+#[track_caller]
+pub fn yield_now() {
+    match current_tid() {
+        Some(tid) => engine().yield_op(tid, Location::caller()),
+        None => std::thread::yield_now(),
+    }
+}
+
+/// The current model-thread index, when running inside an execution.
+/// Primitives that need a small per-thread ordinal (combiner slots,
+/// reader counters) use this under `cfg(prep_mc)` so every execution is
+/// deterministic.
+pub fn model_thread_index() -> Option<usize> {
+    current_tid()
+}

@@ -1,0 +1,130 @@
+//! Execution traces and counterexample rendering.
+//!
+//! Every performed operation is recorded as a compact [`Ev`]; when an
+//! execution fails (assertion, data race, livelock, …) the trace is
+//! rendered op-by-op together with the DFS schedule encoding, which
+//! [`crate::Builder::replay`] accepts to re-run exactly that interleaving.
+
+use std::fmt::Write as _;
+use std::panic::Location as SrcLoc;
+use std::sync::atomic::Ordering;
+
+/// What a trace event was.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvKind {
+    /// Atomic load; `a` = value read.
+    Load,
+    /// Atomic store; `a` = value written.
+    Store,
+    /// Successful RMW; `a` = old value, `b` = new value.
+    Rmw,
+    /// Failed compare-exchange; `a` = observed value.
+    CasFail,
+    /// Memory fence.
+    Fence,
+    /// Plain (peeked) read; `a` = store index read.
+    PeekRead,
+    /// Plain (peeked) write; `a` = store index written.
+    PeekWrite,
+    /// Cooperative yield (spin backoff).
+    Yield,
+    /// Thread spawn; `a` = child thread id.
+    Spawn,
+    /// Join completed; `a` = joined thread id.
+    Join,
+    /// Thread start.
+    Start,
+    /// Thread finish.
+    Finish,
+}
+
+/// One performed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct Ev {
+    /// Global step number.
+    pub step: u64,
+    /// Performing thread.
+    pub tid: usize,
+    /// Operation kind.
+    pub kind: EvKind,
+    /// Location index (`u32::MAX` when not location-bound).
+    pub loc: u32,
+    /// Memory ordering, when meaningful.
+    pub ord: Option<Ordering>,
+    /// Primary operand (see [`EvKind`]).
+    pub a: u64,
+    /// Secondary operand (see [`EvKind`]).
+    pub b: u64,
+    /// Whether a concurrent (unordered) write existed at a peeked read.
+    pub racy: bool,
+    /// Source location of the instrumented call.
+    pub caller: &'static SrcLoc<'static>,
+}
+
+/// Marker for events with no associated memory location.
+pub const NO_LOC: u32 = u32::MAX;
+
+fn ord_str(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+/// Trims a long absolute path down to its last two components.
+fn short_path(p: &str) -> String {
+    let parts: Vec<&str> = p.rsplitn(3, '/').collect();
+    match parts.len() {
+        0 | 1 => p.to_string(),
+        2 => format!("{}/{}", parts[1], parts[0]),
+        _ => format!("{}/{}", parts[1], parts[0]),
+    }
+}
+
+/// Renders a trace as numbered, per-thread-labeled lines.
+pub fn render(trace: &[Ev], loc_names: &[String]) -> String {
+    let mut out = String::new();
+    for ev in trace {
+        let loc = if ev.loc == NO_LOC {
+            String::new()
+        } else {
+            loc_names
+                .get(ev.loc as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("loc#{}", ev.loc))
+        };
+        let ord = ev.ord.map(ord_str).unwrap_or("");
+        let desc = match ev.kind {
+            EvKind::Load => format!("load  {loc} ({ord}) -> {}", ev.a),
+            EvKind::Store => format!("store {loc} ({ord}) <- {}", ev.a),
+            EvKind::Rmw => format!("rmw   {loc} ({ord}) {} -> {}", ev.a, ev.b),
+            EvKind::CasFail => format!("cas!  {loc} ({ord}) observed {}", ev.a),
+            EvKind::Fence => format!("fence ({ord})"),
+            EvKind::PeekRead => format!(
+                "peekR {loc} [store #{}]{}",
+                ev.a,
+                if ev.racy { " RACY" } else { "" }
+            ),
+            EvKind::PeekWrite => format!("peekW {loc} [store #{}]", ev.a),
+            EvKind::Yield => "yield".to_string(),
+            EvKind::Spawn => format!("spawn t{}", ev.a),
+            EvKind::Join => format!("join  t{}", ev.a),
+            EvKind::Start => "start".to_string(),
+            EvKind::Finish => "finish".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "[{:4}] t{}  {:<52} {}:{}",
+            ev.step,
+            ev.tid,
+            desc,
+            short_path(ev.caller.file()),
+            ev.caller.line()
+        );
+    }
+    out
+}

@@ -1,0 +1,89 @@
+//! Model-checked `completedTail` coverage for the NR operation log
+//! (PREP-UC §4.1): whenever any thread observes `completedTail == c`,
+//! every log entry below `c` is published and its payload is visible.
+//!
+//! Drives the log op-by-op through the `mc_*` seam under the exhaustive
+//! scheduler: each thread reserves an entry, writes and publishes it,
+//! waits until everything at or below its own index is full, and only
+//! then proposes advancing `completedTail` past itself (the CAS-max in
+//! `advance_completed_tail` resolves concurrent proposals).
+#![cfg(prep_mc)]
+
+use std::sync::Arc;
+
+use prep_mc::{thread, Builder};
+use prep_nr::Log;
+
+fn reserve_write_publish(log: &Log<u64>, op: u64) -> u64 {
+    loop {
+        let t = log.log_tail();
+        if log.mc_try_reserve(t, 1) {
+            // SAFETY: the successful CAS gives this thread exclusive
+            // ownership of index `t`, written and published exactly once.
+            unsafe {
+                log.mc_write_payload(t, op);
+                log.mc_publish(t);
+            }
+            return t;
+        }
+        thread::yield_now();
+    }
+}
+
+fn advance_past(log: &Log<u64>, idx: u64) {
+    for j in 0..=idx {
+        while !log.is_full(j) {
+            thread::yield_now();
+        }
+    }
+    log.mc_advance_completed_tail(idx + 1);
+}
+
+/// Coverage invariant: `completedTail == c` implies `is_full(j)` for all
+/// `j < c`, through the full Release (publish) → Acquire (is_full) →
+/// AcqRel (CAS-max advance) → Acquire (completed_tail) chain.
+#[test]
+fn completed_tail_covers_only_published_entries() {
+    Builder::new("nr-completed-tail").check(|| {
+        let log = Arc::new(Log::<u64>::new(4));
+        let l2 = Arc::clone(&log);
+        let t = thread::spawn(move || {
+            let idx = reserve_write_publish(&l2, 100);
+            advance_past(&l2, idx);
+        });
+        let idx = reserve_write_publish(&log, 200);
+        advance_past(&log, idx);
+
+        // The other thread may or may not have advanced yet; whatever
+        // completedTail we observe must be fully covered.
+        let c = log.completed_tail();
+        assert!(c >= idx + 1, "own advance not reflected: ct={c}, idx={idx}");
+        for j in 0..c {
+            assert!(
+                log.is_full(j),
+                "completedTail {c} covers unpublished entry {j}"
+            );
+        }
+        t.join().unwrap();
+
+        assert_eq!(log.log_tail(), 2, "both reservations must land");
+        assert_eq!(log.completed_tail(), 2, "CAS-max must settle at 2");
+        assert!(log.is_full(0) && log.is_full(1));
+    });
+}
+
+/// `try_reserve` is linearizable: two threads fighting over the tail get
+/// disjoint indexes and the tail counts every success exactly once.
+#[test]
+fn reservations_never_collide() {
+    Builder::new("nr-reserve").check(|| {
+        let log = Arc::new(Log::<u64>::new(4));
+        let l2 = Arc::clone(&log);
+        let t = thread::spawn(move || reserve_write_publish(&l2, 7));
+        let mine = reserve_write_publish(&log, 9);
+        let theirs = t.join().unwrap();
+        assert_ne!(mine, theirs, "two reservations own the same entry");
+        assert_eq!(mine.max(theirs), 1);
+        assert_eq!(mine.min(theirs), 0);
+    });
+}

@@ -1,7 +1,7 @@
 //! Per-node replicas and flat-combining batch slots.
 
+use prep_sync::cell::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use crossbeam_utils::CachePadded;
 use prep_sync::{

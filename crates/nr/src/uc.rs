@@ -1,6 +1,6 @@
 //! The node-replication universal construction.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use prep_sync::cell::{AtomicBool, Ordering};
 
 use crossbeam_utils::CachePadded;
 

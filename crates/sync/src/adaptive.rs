@@ -25,7 +25,7 @@
 //! every window and pays the worst of both paths (cold cachelines after
 //! every switch).
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use crate::cell::{AtomicU64, AtomicU8, Ordering};
 
 use crossbeam_utils::CachePadded;
 

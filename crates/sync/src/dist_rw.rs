@@ -29,8 +29,8 @@
 //! backs out) or the writer's scan sees the reader's mark (writer waits) —
 //! mutual exclusion follows from the total order on `SeqCst` accesses.
 
+use crate::cell::{AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

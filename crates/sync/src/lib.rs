@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod cell;
+
 mod adaptive;
 mod dist_rw;
 mod phase_fair;

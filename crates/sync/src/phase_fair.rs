@@ -14,8 +14,8 @@
 //! byte of `rin` carries the current writer's presence flag and phase bit.
 //! `win`/`wout` are the writer ticket dispenser and serving counter.
 
+use crate::cell::{AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -14,8 +14,8 @@
 //! bits  0..32   : count of readers holding the lock
 //! ```
 
+use crate::cell::{AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -47,7 +47,7 @@
 //! reader's `v2` sees a bump (read discarded) or both loads bracket a
 //! quiescent period (read valid).
 
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::cell::{fence, AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -100,6 +100,9 @@ impl SeqVersion {
         // ord: Relaxed store is sound because the following Release fence
         // orders it before every subsequent mutation (single writer).
         self.version.store(v + 1, Ordering::Relaxed);
+        // ord: Release fence orders the odd store above before every
+        // replica mutation that follows in the bracket; pairs with the
+        // reader-side Acquire (read_begin's load / validate's fence).
         fence(Ordering::Release);
     }
 

@@ -24,8 +24,8 @@
 //! a writer held the flag or a reader indicator was raised at that instant.
 //! CX retries its read loop regardless, so this costs at most a re-poll.
 
+use crate::cell::{AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -36,7 +36,17 @@ const WRITER: u64 = 1 << 63;
 /// The stripe a thread's read indications land on: threads are numbered
 /// round-robin on first use, then reduced modulo the lock's stripe count.
 fn thread_ordinal() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    // Under the model checker the ordinal must be deterministic per
+    // execution (it picks the stripe, hence the memory-access pattern):
+    // use the model-thread index instead of the process-global dispenser.
+    #[cfg(prep_mc)]
+    if let Some(t) = prep_mc::thread::model_thread_index() {
+        return t;
+    }
+    // Deliberately std, not crate::cell: a process-global id dispenser
+    // must not become a model-checked location (its count carries across
+    // executions and would make schedules diverge).
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     thread_local! {
         static ORDINAL: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
     }

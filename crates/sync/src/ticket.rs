@@ -7,7 +7,7 @@
 //! FIFO by ticket, so every combiner that requests log space eventually
 //! gets it regardless of scheduling.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::cell::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -7,8 +7,8 @@
 //! no blocking `lock`, because blocking on combiner election would defeat
 //! flat combining.
 
+use crate::cell::{AtomicBool, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam_utils::CachePadded;
 

@@ -45,6 +45,18 @@ impl Waiter {
     /// Waits one round, escalating from spinning to yielding to sleeping.
     #[inline]
     pub fn wait(&mut self) {
+        // Under the model checker, spinning must be visible to the
+        // scheduler: every round becomes an instrumented yield (the
+        // checker deprioritizes us until a write lands, and diagnoses
+        // livelock if none ever does). Plain `spin_loop` hints would be
+        // invisible no-ops there, and `thread::sleep` would stall the
+        // whole single-token execution.
+        #[cfg(prep_mc)]
+        if prep_mc::thread::model_thread_index().is_some() {
+            prep_mc::thread::yield_now();
+            self.step = self.step.saturating_add(1);
+            return;
+        }
         if self.step < SPIN_LIMIT {
             for _ in 0..(1 << self.step) {
                 hint::spin_loop();
