@@ -1,0 +1,162 @@
+//! Write-path scaling figure (repo extension, anchored to CNR's multi-log
+//! partitioning — NrOS, OSDI'21 — applied to this repo's persistent logs).
+//!
+//! A single PREP-UC log serializes every update through one combiner, so
+//! write throughput is flat in the thread count. The multi-log
+//! construction (`prep_uc::MultiLogUc`) partitions commuting single-key
+//! updates across L independent persistent logs, each with its own
+//! combiner and persistence batching. This figure sweeps
+//! threads × logs {1, 2, 4} × write ratio {50%, 100%} on the hashmap
+//! under buffered durability; the `logs=1` column is the single-log
+//! baseline, measured through the same engine so the per-log
+//! combine-round counters (`cr=[..]`) are comparable across columns —
+//! every column's counters must all be non-zero, proving all L combiners
+//! actually ran rather than one log absorbing the workload.
+//!
+//! Caveat: on a single-CPU VM the per-log combiners timeslice instead of
+//! running in parallel, so multi-log speedups understate real-hardware
+//! behavior — the counters still show the work fanning out (see
+//! EXPERIMENTS.md § writescale).
+//!
+//! Also records the sweep as `BENCH_writescale.json` in the working
+//! directory — the perf-trajectory baseline future sessions diff against.
+
+use prep_uc::{DurabilityLevel, PrepConfig};
+
+use crate::figures::{bench_runtime, map_stream, thread_sweep};
+use crate::report;
+use crate::targets::{run_multilog, MultiLogCell};
+use crate::workload::prefilled_hashmap;
+use crate::RunOpts;
+
+const LOGS: [usize; 3] = [1, 2, 4];
+const WRITE_PCTS: [u32; 2] = [50, 100];
+
+struct Record {
+    write_pct: u32,
+    logs: usize,
+    threads: usize,
+    cell: MultiLogCell,
+}
+
+/// Runs the write-scaling sweep.
+pub fn run(opts: &RunOpts) {
+    let keys = opts.key_range();
+    let (_, eps) = opts.epsilons();
+    report::banner(
+        "Writescale",
+        "write scaling past one combiner: threads x logs x write ratio \
+         (multi-log PREP, buffered, hashmap)",
+    );
+
+    let mut records: Vec<Record> = Vec::new();
+    for write_pct in WRITE_PCTS {
+        for threads in thread_sweep(opts) {
+            for logs in LOGS {
+                let cfg = PrepConfig::new(DurabilityLevel::Buffered)
+                    .with_log_size(opts.log_size())
+                    .with_epsilon(eps)
+                    .with_runtime(bench_runtime(opts));
+                let cell = run_multilog(
+                    prefilled_hashmap(keys),
+                    logs,
+                    |op: &prep_seqds::hashmap::MapOp| op.key(),
+                    |_, resps| resps.into_iter().next().expect("nonempty fold"),
+                    cfg,
+                    threads,
+                    opts.seconds,
+                    &map_stream(100 - write_pct, keys),
+                );
+                report::row(
+                    &format!("hashmap-{write_pct}w"),
+                    &format!("logs={logs}"),
+                    &cell.as_cell(),
+                );
+                println!(
+                    "      ct={:?} cr={:?}",
+                    cell.lane_completed, cell.lane_rounds
+                );
+                records.push(Record {
+                    write_pct,
+                    logs,
+                    threads,
+                    cell,
+                });
+            }
+        }
+    }
+
+    print_ratio_summary(&records);
+    write_json(opts, &records);
+}
+
+/// Prints, per (write ratio, threads) cell, each log count's throughput
+/// ratio over the single-log baseline — the figure's headline numbers.
+fn print_ratio_summary(records: &[Record]) {
+    println!();
+    println!("-- speedup vs logs=1 (total throughput ratio)");
+    let mut panels: Vec<(u32, usize)> = records.iter().map(|r| (r.write_pct, r.threads)).collect();
+    panels.dedup();
+    for (write_pct, threads) in panels {
+        let per = |logs: usize| {
+            records
+                .iter()
+                .find(|r| r.write_pct == write_pct && r.threads == threads && r.logs == logs)
+                .map(|r| r.cell.m.ops_per_sec())
+        };
+        let Some(base) = per(1) else {
+            continue;
+        };
+        let ratio = |ops: f64| {
+            if base > 0.0 {
+                ops / base
+            } else {
+                f64::INFINITY
+            }
+        };
+        if let (Some(two), Some(four)) = (per(2), per(4)) {
+            println!(
+                "{write_pct:>3}% writes  {threads:>3} threads  2 logs {:>6.2}x  4 logs {:>6.2}x",
+                ratio(two),
+                ratio(four)
+            );
+        }
+    }
+}
+
+/// Hand-rolled JSON dump (no serde in the dependency closure): one object
+/// per cell, per-log counter vectors inline.
+fn write_json(opts: &RunOpts, records: &[Record]) {
+    let vec_json = |v: &[u64]| {
+        let items: Vec<String> = v.iter().map(|x| x.to_string()).collect();
+        format!("[{}]", items.join(", "))
+    };
+    let mut out = String::from("{\n  \"bench\": \"writescale\",\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n  \"seconds_per_cell\": {},\n  \"durability\": \"buffered\",\n  \"cells\": [\n",
+        if opts.full { "full" } else { "quick" },
+        opts.seconds
+    ));
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"write_pct\": {}, \"logs\": {}, \"threads\": {}, \
+             \"total_ops\": {}, \"ops_per_sec\": {:.0}, \
+             \"lane_completed\": {}, \"lane_combine_rounds\": {}}}{}\n",
+            r.write_pct,
+            r.logs,
+            r.threads,
+            r.cell.m.total_ops,
+            r.cell.m.ops_per_sec(),
+            vec_json(&r.cell.lane_completed),
+            vec_json(&r.cell.lane_rounds),
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = "BENCH_writescale.json";
+    match std::fs::write(path, out) {
+        Ok(()) => println!("# wrote {path}"),
+        Err(e) => eprintln!("# could not write {path}: {e}"),
+    }
+}

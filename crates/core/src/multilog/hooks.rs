@@ -1,0 +1,372 @@
+//! Per-log persistence state for the multi-log construction.
+//!
+//! [`MlHookState`] is the multi-log analog of `hooks::HookState`: the same
+//! flush-boundary gate, persisted-`completedTail` cell, and NVM log image —
+//! but **vectored per log**, plus a single joint checkpoint selector
+//! (`p_activePReplica`) shared by every lane. The per-log pieces make each
+//! log's persistence batching independent (combiners on different logs
+//! never touch each other's boundary or image); the single selector is
+//! what makes the checkpoint a *cut vector*: one durable 8-byte publish
+//! covers every lane's checkpointed bytes at once, so recovery never sees
+//! lane A's checkpoint paired with a different epoch of lane B's.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam_utils::CachePadded;
+use prep_pmem::psan::{PublishTag, Region};
+use prep_pmem::{LogImage, PersistentCell, PmemRuntime};
+
+use prep_nr::MlOp;
+
+use crate::config::DurabilityLevel;
+
+/// Hard cap on logs per construction: psan region labels are static, and
+/// practical CNR deployments use a handful of logs (NrOS uses one per NUMA
+/// node).
+pub const MAX_LOGS: usize = 8;
+
+const LOG_LABELS: [&str; MAX_LOGS] = [
+    "mlLog0", "mlLog1", "mlLog2", "mlLog3", "mlLog4", "mlLog5", "mlLog6", "mlLog7",
+];
+const CT_LABELS: [&str; MAX_LOGS] = [
+    "mlCompletedTail0",
+    "mlCompletedTail1",
+    "mlCompletedTail2",
+    "mlCompletedTail3",
+    "mlCompletedTail4",
+    "mlCompletedTail5",
+    "mlCompletedTail6",
+    "mlCompletedTail7",
+];
+
+/// Logical NVM addresses of everything the multi-log construction
+/// persists: one log region and one `completedTail` cell **per log**, one
+/// joint selector, and one whole-lane-set region per persistent replica.
+pub(crate) struct MlPsanLayout {
+    /// Base of each log's logical address space.
+    pub(crate) log_bases: Vec<u64>,
+    /// Each log's `d_completedTail` cell.
+    pub(crate) ct_addrs: Vec<u64>,
+    /// The joint `p_activePReplica` selector cell.
+    pub(crate) p_active_addr: u64,
+    /// One region per persistent replica, covering all of its lanes.
+    pub(crate) replicas: [Region; 2],
+}
+
+impl MlPsanLayout {
+    fn new(rt: &PmemRuntime, logs: usize) -> Self {
+        MlPsanLayout {
+            log_bases: (0..logs)
+                .map(|l| rt.psan_region(LOG_LABELS[l], 1 << 40).base)
+                .collect(),
+            ct_addrs: (0..logs)
+                .map(|l| rt.psan_region(CT_LABELS[l], 8).base)
+                .collect(),
+            p_active_addr: rt.psan_region("mlPActivePReplica", 8).base,
+            replicas: [
+                rt.psan_region("mlPReplica0", 1 << 40),
+                rt.psan_region("mlPReplica1", 1 << 40),
+            ],
+        }
+    }
+}
+
+/// Per-log persistence state (see module docs).
+pub(crate) struct PerLog<O: Clone> {
+    /// Flush-boundary gate for this log's reservations (Algorithm 4, per
+    /// log): reservations stall once the log runs ε past its last
+    /// checkpoint, which is what keeps the per-log loss ≤ ε + β − 1 and
+    /// the combined loss ≤ L·(ε + β − 1).
+    pub(crate) flush_boundary: CachePadded<AtomicU64>,
+    /// Volatile mirror of each persistent replica's localTail *in this
+    /// log* (indexed like `p_active`).
+    pub(crate) p_tails: [CachePadded<AtomicU64>; 2],
+    /// Largest completedTail of this log known durable (durable mode).
+    pub(crate) persisted_ct: CachePadded<AtomicU64>,
+    /// This log's tail in the latest *published* (selector-durable) joint
+    /// checkpoint — the per-log crash-survivability watermark.
+    pub(crate) durable_tail: CachePadded<AtomicU64>,
+    /// NVM image of this log's `d_completedTail` (durable mode).
+    pub(crate) ct_cell: PersistentCell<u64>,
+    /// NVM image of this log's persisted entries (durable mode).
+    pub(crate) log_image: LogImage<MlOp<O>>,
+}
+
+/// Shared persistence state for a [`crate::MultiLogUc`]: one [`PerLog`]
+/// per log plus the joint checkpoint selector.
+pub(crate) struct MlHookState<O: Clone> {
+    pub(crate) rt: Arc<PmemRuntime>,
+    pub(crate) durability: DurabilityLevel,
+    pub(crate) psan: MlPsanLayout,
+    pub(crate) logs: Vec<PerLog<O>>,
+    /// Volatile mirror of which persistent replica set is active (0 or 1).
+    pub(crate) p_active: CachePadded<AtomicU64>,
+    /// NVM image of the joint selector.
+    pub(crate) p_active_cell: PersistentCell<u64>,
+    /// Shutdown flag for the persistence thread and the reserve gates.
+    pub(crate) stop: AtomicBool,
+}
+
+impl<O: Clone> MlHookState<O> {
+    pub(crate) fn new(
+        rt: Arc<PmemRuntime>,
+        durability: DurabilityLevel,
+        epsilon: u64,
+        logs: usize,
+    ) -> Arc<Self> {
+        assert!(
+            (1..=MAX_LOGS).contains(&logs),
+            "log count {logs} out of range 1..={MAX_LOGS}"
+        );
+        let psan = MlPsanLayout::new(&rt, logs);
+        Arc::new(MlHookState {
+            rt,
+            durability,
+            psan,
+            logs: (0..logs)
+                .map(|_| PerLog {
+                    flush_boundary: CachePadded::new(AtomicU64::new(epsilon)),
+                    p_tails: [
+                        CachePadded::new(AtomicU64::new(0)),
+                        CachePadded::new(AtomicU64::new(0)),
+                    ],
+                    persisted_ct: CachePadded::new(AtomicU64::new(0)),
+                    durable_tail: CachePadded::new(AtomicU64::new(0)),
+                    ct_cell: PersistentCell::new(0),
+                    log_image: LogImage::new(),
+                })
+                .collect(),
+            p_active: CachePadded::new(AtomicU64::new(0)),
+            p_active_cell: PersistentCell::new(0),
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// Bytes one log entry occupies in the packed NVM log layout (payload +
+    /// emptyBit).
+    #[inline]
+    pub(crate) fn entry_bytes() -> u64 {
+        std::mem::size_of::<MlOp<O>>() as u64 + 1
+    }
+
+    /// Logical NVM address of log `l`, entry `idx`'s first payload byte.
+    #[inline]
+    fn payload_addr(&self, l: usize, idx: u64) -> u64 {
+        self.psan.log_bases[l] + idx * Self::entry_bytes()
+    }
+
+    /// Logical NVM address of log `l`, entry `idx`'s emptyBit.
+    #[inline]
+    fn empty_bit_addr(&self, l: usize, idx: u64) -> u64 {
+        self.psan.log_bases[l] + (idx + 1) * Self::entry_bytes() - 1
+    }
+
+    /// One async flush per distinct cacheline spanned by entries
+    /// `[from, to)` of log `l`'s packed NVM layout.
+    fn flush_entry_span(&self, l: usize, from: u64, to: u64, site: &'static str) {
+        let eb = Self::entry_bytes();
+        let base = self.psan.log_bases[l];
+        let first = (base + from * eb) / 64;
+        let last = (base + to * eb).div_ceil(64).max(first + 1);
+        for line in first..last {
+            // lint:allow(persist-hook): span-flush helper — every caller
+            // traces the stores it persists before invoking this; tracing
+            // again here would double-count.
+            self.rt.clflushopt_at(line * 64, site);
+        }
+    }
+
+    /// The per-log reservation gate (Algorithm 4, applied per log): admit
+    /// while the reservation stays below this log's flush boundary; always
+    /// admit once shutdown has begun so drains cannot wedge.
+    pub(crate) fn reserve_admitted(&self, l: usize, tail: u64) -> bool {
+        // ord: Acquire pairs with the persistence thread's boundary Release
+        // — admitting tail t implies we saw the checkpoint that justified
+        // boundary > t.
+        tail < self.logs[l].flush_boundary.load(Ordering::Acquire)
+            // ord: Acquire pairs with shutdown's stop Release.
+            || self.stop.load(Ordering::Acquire)
+    }
+
+    /// Durable mode: flush log `l`'s payload bytes for `range` and fence
+    /// once for the batch (§4.1's write-all / flush-spanned-lines / single
+    /// fence scheme, now per log).
+    pub(crate) fn persist_batch_payload(&self, l: usize, range: Range<u64>) {
+        if self.durability != DurabilityLevel::Durable || range.is_empty() {
+            return;
+        }
+        const SITE: &str = "MlHookState::persist_batch_payload";
+        let eb = Self::entry_bytes();
+        self.rt.trace_store(
+            self.payload_addr(l, range.start),
+            (range.end - range.start) * eb,
+            SITE,
+        );
+        self.flush_entry_span(l, range.start, range.end, SITE);
+        self.rt.sfence();
+    }
+
+    /// Durable mode: publish the batch's emptyBit image (flush each
+    /// distinct emptyBit line once, fence) and copy the ops into this
+    /// log's durable image. Runs **before** the volatile publish — an
+    /// entry must not become visible to other combiners (who can cover it
+    /// with a durably-published completedTail) until its image is fenced.
+    ///
+    /// For cross-log operations this ordering carries the atomicity
+    /// argument one step further: the submitter persists its entry in
+    /// *every* log before publishing in *any* log, so a multi-key op that
+    /// is durable in one log is always at least completable from the
+    /// others' images (see `multilog::recovery`).
+    pub(crate) fn persist_batch_published(&self, l: usize, range: Range<u64>, ops: &[MlOp<O>]) {
+        if self.durability != DurabilityLevel::Durable || range.is_empty() {
+            return;
+        }
+        debug_assert_eq!((range.end - range.start) as usize, ops.len());
+        const SITE: &str = "MlHookState::persist_batch_published";
+        let eb = Self::entry_bytes();
+        for idx in range.clone() {
+            self.rt.trace_publish(
+                self.empty_bit_addr(l, idx),
+                1,
+                &[(self.payload_addr(l, idx), eb - 1)],
+                PublishTag::LogEntry,
+                SITE,
+            );
+        }
+        let mut last_line = u64::MAX;
+        for idx in range.clone() {
+            let line = self.empty_bit_addr(l, idx) / 64;
+            if line != last_line {
+                self.rt.clflushopt_at(line * 64, SITE);
+                last_line = line;
+            }
+        }
+        self.rt.sfence();
+        for (off, op) in ops.iter().enumerate() {
+            self.logs[l]
+                .log_image
+                .persist_entry(&self.rt, range.start + off as u64, op.clone());
+        }
+    }
+
+    /// Durable mode: make log `l`'s `completedTail = ct` durable (§5.2
+    /// flush-reduction protocol, per log).
+    pub(crate) fn ensure_ct_durable(&self, l: usize, ct: u64) {
+        if self.durability != DurabilityLevel::Durable {
+            return;
+        }
+        let pl = &self.logs[l];
+        // ord: Acquire pairs with the AcqRel fetch_max below — a covering
+        // value implies the covering publish_clflush happened-before us.
+        if pl.persisted_ct.load(Ordering::Acquire) >= ct {
+            return;
+        }
+        // Store + CLFLUSH as one atomic persist: this log's completedTail
+        // publishes every byte of this log below it.
+        self.rt.publish_clflush(
+            self.psan.ct_addrs[l],
+            std::mem::size_of::<u64>() as u64,
+            &[(self.psan.log_bases[l], ct * Self::entry_bytes())],
+            PublishTag::CompletedTail,
+            "MlHookState::ensure_ct_durable",
+        );
+        pl.ct_cell.record_max(&self.rt, ct);
+        // ord: AcqRel — Release publishes our flush to the skip check
+        // above; Acquire keeps competing maxima ordered.
+        pl.persisted_ct.fetch_max(ct, Ordering::AcqRel);
+    }
+
+    /// Per-log crash-survivability watermark: the log prefix guaranteed to
+    /// survive a crash taken now (latest published joint checkpoint, plus
+    /// the persisted completedTail in durable mode).
+    pub(crate) fn durable_watermark(&self, l: usize) -> u64 {
+        let pl = &self.logs[l];
+        // ord: Acquire pairs with the persistence thread's AcqRel
+        // fetch_max after the selector persist.
+        let ckpt = pl.durable_tail.load(Ordering::Acquire);
+        match self.durability {
+            // ord: Acquire pairs with ensure_ct_durable's AcqRel fetch_max.
+            DurabilityLevel::Durable => ckpt.max(pl.persisted_ct.load(Ordering::Acquire)),
+            DurabilityLevel::Buffered => ckpt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(level: DurabilityLevel) -> Arc<MlHookState<u64>> {
+        MlHookState::new(PmemRuntime::for_crash_tests(), level, 16, 3)
+    }
+
+    #[test]
+    fn per_log_gates_are_independent() {
+        let st = mk(DurabilityLevel::Buffered);
+        assert!(st.reserve_admitted(0, 15));
+        assert!(!st.reserve_admitted(0, 16));
+        st.logs[2].flush_boundary.store(64, Ordering::Release);
+        assert!(st.reserve_admitted(2, 40));
+        assert!(!st.reserve_admitted(0, 16), "log 0's gate unchanged");
+        st.stop.store(true, Ordering::Release);
+        assert!(st.reserve_admitted(0, 1 << 40), "shutdown admits all");
+    }
+
+    fn singles(n: u64) -> Vec<MlOp<u64>> {
+        (0..n).map(|i| MlOp::Single { worker: 0, op: i }).collect()
+    }
+
+    #[test]
+    fn buffered_skips_log_persistence_per_log() {
+        let st = mk(DurabilityLevel::Buffered);
+        st.persist_batch_payload(1, 0..4);
+        st.persist_batch_published(1, 0..4, &singles(4));
+        st.ensure_ct_durable(1, 4);
+        let s = st.rt.stats().snapshot();
+        assert_eq!(s.total_flushes() + s.sfence, 0);
+        assert!(st.logs[1].log_image.is_empty());
+    }
+
+    #[test]
+    fn durable_persists_only_the_targeted_log() {
+        let st = mk(DurabilityLevel::Durable);
+        let ops = singles(2);
+        st.persist_batch_payload(2, 0..2);
+        st.persist_batch_published(2, 0..2, &ops);
+        st.ensure_ct_durable(2, 2);
+        assert_eq!(st.logs[2].log_image.len(), 2);
+        assert!(st.logs[0].log_image.is_empty());
+        assert!(st.logs[1].log_image.is_empty());
+        assert_eq!(st.logs[2].ct_cell.read_image(), 2);
+        assert_eq!(st.logs[0].ct_cell.read_image(), 0);
+        // Flush-reduction: a covered ct re-persist is skipped.
+        let flushes = st.rt.stats().snapshot().clflush;
+        st.ensure_ct_durable(2, 1);
+        assert_eq!(st.rt.stats().snapshot().clflush, flushes);
+    }
+
+    #[test]
+    fn watermark_combines_checkpoint_and_ct_in_durable_mode() {
+        let st = mk(DurabilityLevel::Durable);
+        st.logs[0].durable_tail.store(4, Ordering::Release);
+        st.logs[0].persisted_ct.store(9, Ordering::Release);
+        assert_eq!(st.durable_watermark(0), 9);
+        let st = mk(DurabilityLevel::Buffered);
+        st.logs[0].durable_tail.store(4, Ordering::Release);
+        st.logs[0].persisted_ct.store(9, Ordering::Release);
+        assert_eq!(st.durable_watermark(0), 4, "buffered trusts only the cut");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn log_count_capped() {
+        MlHookState::<u64>::new(
+            PmemRuntime::for_crash_tests(),
+            DurabilityLevel::Buffered,
+            16,
+            MAX_LOGS + 1,
+        );
+    }
+}

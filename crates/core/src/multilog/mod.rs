@@ -1,0 +1,550 @@
+//! Multi-log partitioned replication: the persistent CNR construction.
+//!
+//! One combiner per shard is the single-log construction's write ceiling:
+//! every update serializes through one shared log. Following CNR (NrOS,
+//! OSDI '21), this module partitions the update stream across `L`
+//! independent persistent logs. Commuting operations — single-key ops,
+//! routed by key hash — flow through per-log combiners concurrently
+//! against a **partitioned** replica (lane `l` holds the keys that hash to
+//! log `l`). Non-commuting operations (multi-key updates, scans) take the
+//! cross-log ordering path: reserve one slot in *every* log under a serial
+//! gate and apply at the joint frontier (see [`prep_nr::mluc`]).
+//!
+//! Persistence composes per log: each log keeps its own flush-boundary
+//! gate, durable `completedTail` cell, and NVM entry image, so the per-log
+//! loss bound is the single-log `ε + β − 1` and the combined bound is
+//! `L·(ε + β − 1)`. The checkpoint, however, is **joint**: one
+//! [`MlCheckpoint`] snapshots every lane at a tail *vector* taken at the
+//! persistence thread's joint frontier, and one durable selector publish
+//! flips the whole vector — so recovery never mixes epochs across lanes
+//! and never sees half a cross-log operation (see
+//! [`persistence`](self)-module docs and `recovery`).
+
+mod hooks;
+mod persistence;
+mod recovery;
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use prep_nr::{MlHooks, MlOp, MlToken, MultiLaneReplicated};
+use prep_pmem::{PmemRuntime, PmemStatsSnapshot, ReplicaImage};
+use prep_seqds::SequentialObject;
+
+use crate::config::PrepConfig;
+
+pub(crate) use hooks::MlHookState;
+pub use hooks::MAX_LOGS;
+pub use persistence::MlCheckpoint;
+use persistence::{spawn_ml_persistence_thread, MlPReplica, MlPersistenceTask};
+pub use recovery::MlCrashImage;
+
+/// SplitMix64: the same full-avalanche mix `prep-shard` routes with, so a
+/// key's log index and shard index come from independent bit ranges of one
+/// hash.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Lane classifier: `Some(l)` routes the op to lane `l`, `None` marks it
+/// cross-log (see [`LaneRouter`]).
+type LaneOfFn<T> = Arc<dyn Fn(&<T as SequentialObject>::Op, usize) -> Option<usize> + Send + Sync>;
+/// Cross-log response fold: combines the per-lane responses into one.
+type FoldFn<T> = Arc<
+    dyn Fn(
+            &<T as SequentialObject>::Op,
+            Vec<<T as SequentialObject>::Resp>,
+        ) -> <T as SequentialObject>::Resp
+        + Send
+        + Sync,
+>;
+
+/// Routes operations to logs (lanes) and folds cross-log responses.
+///
+/// `lane_of` classifies an operation: `Some(l)` means the op touches only
+/// keys owned by lane `l` (it commutes with everything outside lane `l`
+/// and takes the concurrent per-log path); `None` means it is a cross-log
+/// op (multi-key update, scan) and takes the ordered path through every
+/// log. `fold` combines the per-lane responses of a cross-log op into one.
+pub struct LaneRouter<T: SequentialObject> {
+    lane_of: LaneOfFn<T>,
+    fold: FoldFn<T>,
+}
+
+impl<T: SequentialObject> Clone for LaneRouter<T> {
+    fn clone(&self) -> Self {
+        LaneRouter {
+            lane_of: Arc::clone(&self.lane_of),
+            fold: Arc::clone(&self.fold),
+        }
+    }
+}
+
+impl<T: SequentialObject> LaneRouter<T> {
+    /// Builds a router from a lane classifier and a cross-log fold.
+    ///
+    /// `lane_of` receives the op and the lane count; it must be a pure
+    /// function of the op (the same op must route to the same lane on
+    /// every call, including after recovery).
+    pub fn new(
+        lane_of: impl Fn(&T::Op, usize) -> Option<usize> + Send + Sync + 'static,
+        fold: impl Fn(&T::Op, Vec<T::Resp>) -> T::Resp + Send + Sync + 'static,
+    ) -> Self {
+        LaneRouter {
+            lane_of: Arc::new(lane_of),
+            fold: Arc::new(fold),
+        }
+    }
+
+    /// Key-hash partitioning: `key_of` returning `Some(k)` routes the op to
+    /// lane `mix64(k) % lanes`; `None` marks it cross-log.
+    pub fn by_key(
+        key_of: impl Fn(&T::Op) -> Option<u64> + Send + Sync + 'static,
+        fold: impl Fn(&T::Op, Vec<T::Resp>) -> T::Resp + Send + Sync + 'static,
+    ) -> Self {
+        Self::new(
+            move |op, lanes| key_of(op).map(|k| (mix64(k) % lanes as u64) as usize),
+            fold,
+        )
+    }
+
+    /// Routes one op: `Some(lane)` or `None` for cross-log.
+    pub fn lane_of(&self, op: &T::Op, lanes: usize) -> Option<usize> {
+        (self.lane_of)(op, lanes)
+    }
+}
+
+/// The persistence hooks adapter: what plugs [`MlHookState`] into the
+/// multi-lane engine (the multi-log analog of `PrepHooks`).
+pub(crate) struct MlPrepHooks<O: Clone> {
+    pub(crate) state: Arc<MlHookState<O>>,
+}
+
+impl<O: Clone + Send + Sync + 'static> MlHooks<O> for MlPrepHooks<O> {
+    fn reserve_admitted(&self, log: usize, tail: u64) -> bool {
+        self.state.reserve_admitted(log, tail)
+    }
+
+    fn persist_batch_payload(&self, log: usize, range: std::ops::Range<u64>, _ops: &[MlOp<O>]) {
+        self.state.persist_batch_payload(log, range);
+    }
+
+    fn persist_batch_published(&self, log: usize, range: std::ops::Range<u64>, ops: &[MlOp<O>]) {
+        self.state.persist_batch_published(log, range, ops);
+    }
+
+    fn ensure_completed_tail_durable(&self, log: usize, ct: u64) {
+        self.state.ensure_ct_durable(log, ct);
+    }
+
+    fn persistent_tails(&self, log: usize) -> [u64; 2] {
+        let pl = &self.state.logs[log];
+        [
+            // ord: Acquire pairs with the persistence thread's tail Release
+            // stores; tail t implies entries below t were applied.
+            pl.p_tails[0].load(Ordering::Acquire),
+            // ord: see above.
+            pl.p_tails[1].load(Ordering::Acquire),
+        ]
+    }
+}
+
+/// The inner multi-lane engine with PREP's hooks installed.
+pub(crate) type MlInner<T> = MultiLaneReplicated<T, MlPrepHooks<<T as SequentialObject>::Op>>;
+
+/// A multi-log replicated persistent universal construction (persistent
+/// CNR; module docs).
+///
+/// Construction spawns the joint persistence thread; dropping the
+/// `MultiLogUc` stops and joins it. Worker threads interact through
+/// [`MultiLogUc::register`]/[`MultiLogUc::execute`]; the router decides
+/// per op whether it takes the concurrent per-log path or the ordered
+/// cross-log path.
+pub struct MultiLogUc<T: SequentialObject> {
+    engine: Arc<MlInner<T>>,
+    state: Arc<MlHookState<T::Op>>,
+    images: Arc<[ReplicaImage<MlCheckpoint<T>>; 2]>,
+    router: LaneRouter<T>,
+    config: PrepConfig,
+    max_workers: usize,
+    persistence: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T: SequentialObject> MultiLogUc<T> {
+    /// Builds a multi-log PREP over `obj` with `logs` logs.
+    ///
+    /// Every lane's partition starts as a clone of `obj` — pass the empty
+    /// object; the router's key partitioning keeps each lane populated only
+    /// with its own keys.
+    ///
+    /// # Panics
+    /// Panics if `logs` is outside `1..=MAX_LOGS` or the configuration
+    /// violates `ε ≤ LOG_SIZE − β − 1` with `β = max_workers`.
+    pub fn new(
+        obj: T,
+        router: LaneRouter<T>,
+        logs: usize,
+        max_workers: usize,
+        config: PrepConfig,
+    ) -> Self {
+        let states = (0..logs).map(|_| obj.clone_object()).collect();
+        Self::from_lane_states(states, router, max_workers, config)
+    }
+
+    /// Builds a multi-log PREP whose lane `l` starts from `states[l]` —
+    /// the recovery entry point ([`MultiLogUc::recover`]).
+    pub fn from_lane_states(
+        states: Vec<T>,
+        router: LaneRouter<T>,
+        max_workers: usize,
+        config: PrepConfig,
+    ) -> Self {
+        let logs = states.len();
+        // β: every registered worker can land in one log's combining batch.
+        config.validate(max_workers as u64);
+        let state = MlHookState::new(
+            Arc::clone(&config.runtime),
+            config.durability,
+            config.epsilon,
+            logs,
+        );
+        let ckpt = |states: &[T]| MlCheckpoint {
+            lanes: states.iter().map(|s| s.clone_object()).collect(),
+            tails: vec![0; logs],
+        };
+        let images = Arc::new([
+            ReplicaImage::new(ckpt(&states)),
+            ReplicaImage::new(ckpt(&states)),
+        ]);
+        let replicas = [
+            MlPReplica {
+                lanes: states.iter().map(|s| s.clone_object()).collect(),
+                tails: vec![0; logs],
+            },
+            MlPReplica {
+                lanes: states.iter().map(|s| s.clone_object()).collect(),
+                tails: vec![0; logs],
+            },
+        ];
+        let engine = Arc::new(MultiLaneReplicated::from_lane_states(
+            states,
+            max_workers,
+            config.log_size,
+            MlPrepHooks {
+                state: Arc::clone(&state),
+            },
+        ));
+        let persistence = spawn_ml_persistence_thread(MlPersistenceTask {
+            engine: Arc::clone(&engine),
+            state: Arc::clone(&state),
+            images: Arc::clone(&images),
+            replicas,
+            epsilon: config.epsilon,
+            allocator_swap: config.allocator_swap,
+            flush_strategy: config.flush_strategy,
+        });
+        MultiLogUc {
+            engine,
+            state,
+            images,
+            router,
+            config,
+            max_workers,
+            persistence: Some(persistence),
+        }
+    }
+
+    /// Registers worker `worker` (one flat-combining slot per log).
+    ///
+    /// # Panics
+    /// Panics if `worker >= max_workers` or is already registered.
+    pub fn register(&self, worker: usize) -> MlToken {
+        self.engine.register(worker)
+    }
+
+    /// `ExecuteConcurrent` over the partitioned object: routes `op` to its
+    /// log (concurrent path) or through every log (ordered cross-log
+    /// path), with the construction's durability semantics.
+    pub fn execute(&self, token: &MlToken, op: T::Op) -> T::Resp {
+        match self.router.lane_of(&op, self.lanes()) {
+            Some(l) if T::is_read_only(&op) => self.engine.execute_readonly(l, &op),
+            Some(l) => self.engine.execute(token, l, op),
+            None => {
+                let resps = self.engine.execute_multi(&op);
+                (self.router.fold)(&op, resps)
+            }
+        }
+    }
+
+    /// Number of logs (= lanes = replica partitions).
+    pub fn lanes(&self) -> usize {
+        self.engine.lanes()
+    }
+
+    /// β for this instance (worst-case batch: every worker in one log).
+    pub fn beta(&self) -> u64 {
+        self.max_workers as u64
+    }
+
+    /// Worst-case completed-update loss per crash: each log independently
+    /// loses at most its `ε + β − 1` suffix, so the construction's bound is
+    /// `L·(ε + β − 1)` buffered and 0 durable (see DESIGN.md "Multi-log
+    /// cut").
+    pub fn loss_bound(&self) -> u64 {
+        self.lanes() as u64 * self.config.loss_bound(self.beta())
+    }
+
+    /// Observes lane `l`'s volatile partition, up to date with every
+    /// completed update in log `l` (test/diagnostic API).
+    pub fn with_lane<R>(&self, l: usize, f: impl FnOnce(&T) -> R) -> R {
+        self.engine.with_lane(l, f)
+    }
+
+    /// Log `l`'s `completedTail`.
+    pub fn completed_tail(&self, l: usize) -> u64 {
+        self.engine.log_set().log(l).completed_tail()
+    }
+
+    /// All logs' `completedTail`s.
+    pub fn completed_vector(&self) -> Vec<u64> {
+        self.engine.completed_vector()
+    }
+
+    /// Combine rounds log `l`'s combiners have run (diagnostic; the
+    /// writescale figure uses this to show all L combiners active).
+    pub fn combine_rounds(&self, l: usize) -> u64 {
+        self.engine.combine_rounds(l)
+    }
+
+    /// Log `l`'s crash-survivability watermark (cf. `PrepUc`'s scalar
+    /// `durable_watermark`, per log).
+    pub fn durable_watermark(&self, l: usize) -> u64 {
+        self.state.durable_watermark(l)
+    }
+
+    /// Which persistent replica set is currently active (volatile view).
+    pub fn active_persistent_replica(&self) -> u64 {
+        // ord: Acquire pairs with the persistence thread's swap Release.
+        self.state.p_active.load(Ordering::Acquire)
+    }
+
+    /// The construction's configuration.
+    pub fn config(&self) -> &PrepConfig {
+        &self.config
+    }
+
+    /// The persistence runtime (stats, crash capture).
+    pub fn runtime(&self) -> &Arc<PmemRuntime> {
+        &self.config.runtime
+    }
+
+    /// Snapshot of the persistence-operation counters.
+    pub fn stats(&self) -> PmemStatsSnapshot {
+        self.config.runtime.stats().snapshot()
+    }
+
+    pub(crate) fn hook_state(&self) -> &Arc<MlHookState<T::Op>> {
+        &self.state
+    }
+
+    pub(crate) fn replica_image(&self, idx: usize) -> &ReplicaImage<MlCheckpoint<T>> {
+        &self.images[idx]
+    }
+
+    /// Asks the persistence thread to checkpoint *now*: lowers every
+    /// lagging log's flush boundary to its applied tail (cf.
+    /// `PrepUc::nudge_checkpoint`; safe for the same reason — persisting
+    /// earlier than ε only tightens the loss bound).
+    pub fn nudge_checkpoint(&self) {
+        // ord: Acquire pairs with the persistence thread's swap Release so
+        // the tails read below belong to the replica we think is active.
+        let active = self.state.p_active.load(Ordering::Acquire) as usize;
+        for l in 0..self.lanes() {
+            if self.durable_watermark(l) >= self.completed_tail(l) {
+                continue;
+            }
+            let pl = &self.state.logs[l];
+            // ord: Acquire pairs with the tail's Release store.
+            let target = pl.p_tails[active].load(Ordering::Acquire).max(1);
+            // ord: AcqRel — Release so the persistence thread's Acquire of
+            // the lowered boundary sees the state that motivated it;
+            // Acquire orders racing lowerings (fetch_min keeps the
+            // tightest).
+            pl.flush_boundary.fetch_min(target, Ordering::AcqRel);
+        }
+    }
+
+    /// Blocks until every operation completed *before this call* — in every
+    /// log — is crash survivable, nudging the persistence thread along.
+    pub fn quiesce_persistence(&self) {
+        let mut w = prep_sync::Waiter::new();
+        loop {
+            let covered =
+                (0..self.lanes()).all(|l| self.durable_watermark(l) >= self.completed_tail(l));
+            if covered {
+                return;
+            }
+            self.nudge_checkpoint();
+            w.wait();
+        }
+    }
+}
+
+impl<T: SequentialObject> Drop for MultiLogUc<T> {
+    fn drop(&mut self) {
+        // ord: Release pairs with the persistence thread's stop Acquire —
+        // everything this instance wrote is visible to its final pass.
+        self.state.stop.store(true, Ordering::Release);
+        if let Some(h) = self.persistence.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DurabilityLevel;
+    use prep_pmem::PmemRuntime;
+    use prep_seqds::hashmap::{HashMap, MapOp, MapResp};
+
+    fn cfg(level: DurabilityLevel) -> PrepConfig {
+        PrepConfig::new(level)
+            .with_log_size(256)
+            .with_epsilon(32)
+            .with_runtime(PmemRuntime::for_crash_tests())
+    }
+
+    pub(super) fn map_router() -> LaneRouter<HashMap> {
+        LaneRouter::by_key(
+            |op: &MapOp| op.key(),
+            |_, resps| {
+                let total = resps
+                    .into_iter()
+                    .map(|r| match r {
+                        MapResp::Len(n) => n,
+                        other => panic!("fold over non-Len {other:?}"),
+                    })
+                    .sum();
+                MapResp::Len(total)
+            },
+        )
+    }
+
+    #[test]
+    fn partitioned_map_roundtrip_with_cross_log_len() {
+        for level in [DurabilityLevel::Buffered, DurabilityLevel::Durable] {
+            let uc = MultiLogUc::new(HashMap::new(), map_router(), 4, 2, cfg(level));
+            let t = uc.register(0);
+            for k in 0..100u64 {
+                uc.execute(&t, MapOp::Insert { key: k, value: !k });
+            }
+            for k in 0..100u64 {
+                assert_eq!(
+                    uc.execute(&t, MapOp::Get { key: k }),
+                    MapResp::Value(Some(!k))
+                );
+            }
+            // Cross-log scan: folds per-lane lengths at the joint frontier.
+            assert_eq!(uc.execute(&t, MapOp::Len), MapResp::Len(100));
+            // The hash spreads 100 keys over all 4 lanes.
+            for l in 0..4 {
+                assert!(uc.completed_tail(l) > 0, "lane {l} never used");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_scale_across_logs() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 250;
+        let uc = Arc::new(MultiLogUc::new(
+            HashMap::new(),
+            map_router(),
+            4,
+            THREADS,
+            cfg(DurabilityLevel::Buffered),
+        ));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|w| {
+                let uc = Arc::clone(&uc);
+                std::thread::spawn(move || {
+                    let t = uc.register(w);
+                    for i in 0..PER_THREAD {
+                        let key = (w as u64) << 32 | i;
+                        uc.execute(&t, MapOp::Insert { key, value: i });
+                        if i % 50 == 49 {
+                            uc.execute(&t, MapOp::Len);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let singles: u64 = (0..4).map(|l| uc.completed_tail(l)).sum();
+        // THREADS·PER_THREAD inserts + len ops (1 entry per lane each).
+        let lens = THREADS as u64 * (PER_THREAD / 50);
+        assert_eq!(singles, THREADS as u64 * PER_THREAD + lens * 4);
+    }
+
+    #[test]
+    fn quiesce_covers_every_log() {
+        let uc = MultiLogUc::new(
+            HashMap::new(),
+            map_router(),
+            3,
+            1,
+            cfg(DurabilityLevel::Buffered).with_epsilon(64),
+        );
+        let t = uc.register(0);
+        for k in 0..30u64 {
+            uc.execute(&t, MapOp::Insert { key: k, value: k });
+        }
+        uc.quiesce_persistence();
+        for l in 0..3 {
+            assert!(
+                uc.durable_watermark(l) >= uc.completed_tail(l),
+                "log {l} watermark below completedTail after quiesce"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_bound_composes_over_logs() {
+        let uc = MultiLogUc::new(
+            HashMap::new(),
+            map_router(),
+            4,
+            3,
+            cfg(DurabilityLevel::Buffered).with_epsilon(10),
+        );
+        assert_eq!(uc.beta(), 3);
+        assert_eq!(uc.loss_bound(), 4 * (10 + 3 - 1));
+        let d = MultiLogUc::new(
+            HashMap::new(),
+            map_router(),
+            4,
+            3,
+            cfg(DurabilityLevel::Durable),
+        );
+        assert_eq!(d.loss_bound(), 0);
+    }
+
+    #[test]
+    fn router_is_deterministic_and_in_range() {
+        let r = map_router();
+        for k in 0..1000u64 {
+            let op = MapOp::Get { key: k };
+            let l = r.lane_of(&op, 5).unwrap();
+            assert!(l < 5);
+            assert_eq!(r.lane_of(&op, 5), Some(l));
+        }
+        assert_eq!(r.lane_of(&MapOp::Len, 5), None);
+    }
+}

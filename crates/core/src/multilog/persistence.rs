@@ -1,0 +1,318 @@
+//! The multi-log persistence thread: Algorithm 2 vectored over lanes, with
+//! **joint-frontier** replay and a single cut-vector checkpoint.
+//!
+//! One dedicated thread owns both persistent replica *sets* (one partition
+//! per lane each). Per cycle it replays each lane's newly completed log
+//! entries onto the active set — but a lane's replay **parks at a multi
+//! entry** until every lane has reached its instance of the same multi,
+//! and then all lanes step over it in the same cycle. The parked vector is
+//! the joint frontier: a checkpoint taken at any cycle boundary therefore
+//! never captures a cross-lane operation in some lanes but not others,
+//! which is what makes the buffered-mode cut **atomic for multi-key ops**
+//! without any extra commit record.
+//!
+//! The checkpoint itself is joint: flush every lane of the active set,
+//! fence once, install one [`MlCheckpoint`] (all lane states + the tail
+//! *vector*) and publish the single `p_activePReplica` selector covering
+//! the whole set. One durable 8-byte publish flips the entire cut vector.
+//! Each lane then gets its own flush boundary `tails[l] + ε`, so the
+//! per-lane loss stays ≤ ε + β − 1 and the combined loss ≤ L·(ε + β − 1).
+//!
+//! `FlushStrategy::DirtyLines` falls back to a whole-set range flush here
+//! (the partitions lack a shared logical address space to merge dirty
+//! lines across); the single-log construction keeps the precise path.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use prep_nr::{MlOp, MultiLaneReplicated};
+use prep_pmem::psan::PublishTag;
+use prep_pmem::ReplicaImage;
+use prep_seqds::SequentialObject;
+use prep_sync::Waiter;
+
+use crate::config::{DurabilityLevel, FlushStrategy};
+use crate::multilog::hooks::MlHookState;
+use crate::multilog::MlPrepHooks;
+
+/// One persistent replica *set*: a partition per lane plus the applied
+/// tail vector.
+pub(crate) struct MlPReplica<T: SequentialObject> {
+    pub(crate) lanes: Vec<T>,
+    pub(crate) tails: Vec<u64>,
+}
+
+/// What one joint checkpoint stores: every lane's partition and the tail
+/// **vector** it is consistent at. Installing this as a single snapshot —
+/// and naming it with a single selector publish — is what makes the
+/// multi-log cut a vector-atomic unit.
+#[derive(Debug, Clone)]
+pub struct MlCheckpoint<T: SequentialObject> {
+    /// Per-lane partition states.
+    pub lanes: Vec<T>,
+    /// Per-lane applied tails (`lanes[l]` reflects its log below
+    /// `tails[l]`). Never splits a multi: the joint-frontier replay steps
+    /// all lanes over a multi in the same cycle.
+    pub tails: Vec<u64>,
+}
+
+/// Everything the multi-log persistence thread needs, moved in at spawn.
+pub(crate) struct MlPersistenceTask<T: SequentialObject> {
+    pub(crate) engine: Arc<MultiLaneReplicated<T, MlPrepHooks<T::Op>>>,
+    pub(crate) state: Arc<MlHookState<T::Op>>,
+    pub(crate) images: Arc<[ReplicaImage<MlCheckpoint<T>>; 2]>,
+    pub(crate) replicas: [MlPReplica<T>; 2],
+    pub(crate) epsilon: u64,
+    pub(crate) allocator_swap: bool,
+    pub(crate) flush_strategy: FlushStrategy,
+}
+
+impl<T: SequentialObject> MlPersistenceTask<T> {
+    /// The thread body: loop until `state.stop`.
+    pub(crate) fn run(mut self) {
+        let rt = Arc::clone(&self.state.rt);
+        let lane_count = self.state.logs.len();
+        let op_bytes = std::mem::size_of::<MlOp<T::Op>>() as u64;
+        let mut w = Waiter::new();
+
+        loop {
+            // ord: Acquire pairs with shutdown's stop Release.
+            if self.state.stop.load(Ordering::Acquire) {
+                return;
+            }
+            // ord: Acquire pairs with our own swap Release (and
+            // construction's initial store).
+            let active = self.state.p_active.load(Ordering::Acquire) as usize;
+
+            let mut progressed = self.replay(active, op_bytes, &rt);
+
+            // Joint checkpoint trigger: any lane reached its boundary, or
+            // any lane's gate is closed with everything applied and a
+            // checkpoint would actually raise its boundary (the same
+            // deadlock backstop as the single-log thread, per lane).
+            let rep = &self.replicas[active];
+            let mut trigger = false;
+            for l in 0..lane_count {
+                // ord: Acquire pairs with our own boundary Release (and
+                // nudge_checkpoint's fetch_min).
+                let boundary = self.state.logs[l].flush_boundary.load(Ordering::Acquire);
+                let log = self.engine.log_set().log(l);
+                let gate_closed = boundary <= log.log_tail();
+                let backstop = gate_closed
+                    && rep.tails[l] == log.completed_tail()
+                    && rep.tails[l] + self.epsilon > boundary;
+                if boundary <= rep.tails[l] || backstop {
+                    trigger = true;
+                    break;
+                }
+            }
+            if trigger {
+                self.checkpoint(active, &rt);
+                progressed = true;
+            }
+
+            if progressed {
+                w.reset();
+            } else {
+                w.wait();
+            }
+        }
+    }
+
+    /// Replays each lane's completed entries onto the active set, parking
+    /// every lane at the joint frontier (module docs). Returns whether
+    /// anything advanced.
+    fn replay(&mut self, active: usize, op_bytes: u64, rt: &prep_pmem::PmemRuntime) -> bool {
+        let lane_count = self.state.logs.len();
+        let set = self.engine.log_set();
+        let rep = &mut self.replicas[active];
+        let region_base = self.state.psan.replicas[active].base;
+        let swap = self.allocator_swap;
+        let mut any = false;
+        let mut torn = false;
+
+        loop {
+            let mut advanced = false;
+            // (lane, multi id) pairs every lane is currently parked at.
+            let mut parked: Vec<(usize, u64)> = Vec::new();
+            for l in 0..lane_count {
+                let ct = set.log(l).completed_tail();
+                while rep.tails[l] < ct {
+                    let idx = rep.tails[l];
+                    let mut entry = None;
+                    set.log(l)
+                        .for_each_op(idx, idx + 1, |_, e| entry = Some(e.clone()));
+                    match entry.expect("entries below completedTail are published") {
+                        MlOp::Single { op, .. } => {
+                            if !torn {
+                                // First mutation since the last snapshot
+                                // leaves the active set's image torn until
+                                // the next checkpoint (§4.1).
+                                self.images[active].mark_torn(rt);
+                                torn = true;
+                            }
+                            // lint:allow(persist-hook): latency charge only
+                            // — the replica bytes this store dirties become
+                            // durable (and are traced) in checkpoint()'s
+                            // trace_store/publish_clflush pass, as in the
+                            // single-log persistence thread.
+                            rt.nvm_write(region_base, op_bytes);
+                            let ds = &mut rep.lanes[l];
+                            if swap {
+                                prep_pmem::alloc::with_persistent(|| {
+                                    ds.apply(&op);
+                                });
+                            } else {
+                                ds.apply(&op);
+                            }
+                            rep.tails[l] = idx + 1;
+                            advanced = true;
+                        }
+                        MlOp::Multi { id, .. } => {
+                            parked.push((l, id));
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // The joint frontier: a multi is stepped over only when EVERY
+            // lane is parked at its instance (same id — the gate gives
+            // multis the same order in every log). Until then the tail
+            // vector stays on the near side of the multi in all lanes, so
+            // a checkpoint taken now cannot split it.
+            if parked.len() == lane_count {
+                let id0 = parked[0].1;
+                debug_assert!(
+                    parked.iter().all(|&(_, id)| id == id0),
+                    "lanes parked at different multis — gate order violated"
+                );
+                if !torn {
+                    self.images[active].mark_torn(rt);
+                    torn = true;
+                }
+                for &(l, _) in &parked {
+                    let idx = rep.tails[l];
+                    let mut op = None;
+                    set.log(l).for_each_op(idx, idx + 1, |_, e| {
+                        if let MlOp::Multi { op: o, .. } = e {
+                            op = Some(o.clone());
+                        }
+                    });
+                    let op = op.expect("parked entry is a published multi");
+                    // lint:allow(persist-hook): latency charge only — see
+                    // the single-lane arm above; durability is traced at
+                    // checkpoint().
+                    rt.nvm_write(region_base, op_bytes);
+                    let ds = &mut rep.lanes[l];
+                    if swap {
+                        prep_pmem::alloc::with_persistent(|| {
+                            ds.apply(&op);
+                        });
+                    } else {
+                        ds.apply(&op);
+                    }
+                    rep.tails[l] = idx + 1;
+                }
+                advanced = true;
+            }
+
+            if advanced {
+                any = true;
+            } else {
+                break;
+            }
+        }
+
+        if any {
+            for l in 0..lane_count {
+                self.state.logs[l].p_tails[active]
+                    // ord: Release publishes the partition states just
+                    // applied to applied_floor()'s Acquire readers.
+                    .store(rep.tails[l], Ordering::Release);
+            }
+        }
+        any
+    }
+
+    /// One joint checkpoint of the active set: flush all lanes, fence
+    /// once, install the [`MlCheckpoint`], publish the single selector
+    /// covering the whole set, then advance every lane's boundary.
+    fn checkpoint(&mut self, active: usize, rt: &prep_pmem::PmemRuntime) {
+        const SITE: &str = "MlPersistenceTask::checkpoint";
+        let lane_count = self.state.logs.len();
+        let region = self.state.psan.replicas[active];
+        let rep = &self.replicas[active];
+        let full_bytes: u64 = rep.lanes.iter().map(|l| l.approx_bytes()).sum();
+        match self.flush_strategy {
+            FlushStrategy::Wbinvd => {
+                rt.trace_store(region.base, full_bytes, SITE);
+                rt.wbinvd(full_bytes);
+            }
+            // DirtyLines falls back to the whole-set range flush here
+            // (module docs).
+            FlushStrategy::RangeFlush | FlushStrategy::DirtyLines => {
+                rt.trace_store(region.base, full_bytes, SITE);
+                rt.flush_range(region.base, full_bytes, SITE);
+            }
+        }
+        rt.sfence();
+        rt.count_checkpoint(full_bytes);
+        if rt.crash_sim_enabled() {
+            self.images[active].install_snapshot(
+                rt,
+                MlCheckpoint {
+                    lanes: rep.lanes.iter().map(|l| l.clone_object()).collect(),
+                    tails: rep.tails.clone(),
+                },
+                rep.tails.iter().sum(),
+                full_bytes,
+            );
+        }
+
+        // Swap active/stable and persist the selector BEFORE raising any
+        // boundary (same ordering argument as the single-log thread). The
+        // one publish covers every lane of the set: recovery trusting the
+        // selector trusts the whole cut vector at once.
+        let new_active = 1 - active as u64;
+        // ord: Release publishes the checkpoint written above before the
+        // selector that names it becomes visible.
+        self.state.p_active.store(new_active, Ordering::Release);
+        rt.publish_clflush(
+            self.state.psan.p_active_addr,
+            std::mem::size_of::<u64>() as u64,
+            &[(region.base, region.len)],
+            PublishTag::CheckpointMarker,
+            "MlPersistenceTask::swap",
+        );
+        self.state.p_active_cell.record(rt, new_active);
+
+        for l in 0..lane_count {
+            let pl = &self.state.logs[l];
+            pl.durable_tail
+                // ord: AcqRel — Release publishes the checkpoint behind the
+                // watermark to durable_watermark()'s Acquire readers;
+                // Acquire keeps the max monotone.
+                .fetch_max(self.replicas[active].tails[l], Ordering::AcqRel);
+            let new_boundary = self.replicas[active].tails[l] + self.epsilon;
+            // ord: Release — reserve_admitted's Acquire must see the
+            // durable checkpoint this boundary is sized against.
+            pl.flush_boundary.store(new_boundary, Ordering::Release);
+            if self.state.durability == DurabilityLevel::Durable {
+                let min_tail = self.replicas[0].tails[l].min(self.replicas[1].tails[l]);
+                pl.log_image.retain_from(rt, min_tail);
+            }
+        }
+    }
+}
+
+/// Spawns the multi-log persistence thread; it exits when `state.stop` is
+/// raised.
+pub(crate) fn spawn_ml_persistence_thread<T: SequentialObject>(
+    task: MlPersistenceTask<T>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("prep-ml-persistence".into())
+        .spawn(move || task.run())
+        .expect("failed to spawn multi-log persistence thread")
+}

@@ -92,7 +92,7 @@ impl MiniSeq {
     fn read_pair(&self, begin_acquire: bool, validate_fence: bool) -> Option<(u64, u64, u64)> {
         let ord = if begin_acquire { Acquire } else { Relaxed };
         let snap = self.version.load(ord);
-        if snap % 2 != 0 {
+        if !snap.is_multiple_of(2) {
             return None;
         }
         // SAFETY: consenting peeks; validation rejects racy snapshots.

@@ -1,0 +1,188 @@
+//! Model-checked multi-log (persistent CNR) invariants: two logs, two
+//! threads, every interleaving.
+//!
+//! The multi-log engine's correctness leans on three log-level facts that
+//! single-log checking can't establish:
+//!
+//! * reservations never collide **per log** even when both threads fan
+//!   out across both logs concurrently;
+//! * each log's `completedTail` covers only its own published entries —
+//!   the coverage invariant holds per log and at the cut vector
+//!   `(ct_0, ct_1)` jointly;
+//! * cross-log operations, serialized by the gate, appear in the **same
+//!   order in every log**, so applying at the joint frontier
+//!   `min(ct_0, ct_1)` observes one consistent cross-log history.
+//!
+//! Drives two `prep_nr::Log`s through the `mc_*` seam under the
+//! exhaustive scheduler, with an instrumented CAS gate standing in for
+//! the engine's multi-op gate.
+#![cfg(prep_mc)]
+
+use std::sync::Arc;
+
+use prep_mc::cell::AtomicU64;
+use prep_mc::{thread, Builder};
+use prep_nr::Log;
+
+fn reserve_write_publish(log: &Log<u64>, op: u64) -> u64 {
+    loop {
+        let t = log.log_tail();
+        if log.mc_try_reserve(t, 1) {
+            // SAFETY: the successful CAS gives this thread exclusive
+            // ownership of index `t`, written and published exactly once.
+            unsafe {
+                log.mc_write_payload(t, op);
+                log.mc_publish(t);
+            }
+            return t;
+        }
+        thread::yield_now();
+    }
+}
+
+fn advance_past(log: &Log<u64>, idx: u64) {
+    for j in 0..=idx {
+        while !log.is_full(j) {
+            thread::yield_now();
+        }
+    }
+    log.mc_advance_completed_tail(idx + 1);
+}
+
+/// Two threads each reserving in both logs: per-log indexes stay disjoint
+/// and each log's tail counts both reservations exactly once.
+#[test]
+fn per_log_reservations_never_collide() {
+    Builder::new("ml-reserve").check(|| {
+        let logs = Arc::new([Log::<u64>::new(4), Log::<u64>::new(4)]);
+        let l2 = Arc::clone(&logs);
+        let t = thread::spawn(move || {
+            [
+                reserve_write_publish(&l2[0], 10),
+                reserve_write_publish(&l2[1], 11),
+            ]
+        });
+        let mine = [
+            reserve_write_publish(&logs[0], 20),
+            reserve_write_publish(&logs[1], 21),
+        ];
+        let theirs = t.join().unwrap();
+        for l in 0..2 {
+            assert_ne!(
+                mine[l], theirs[l],
+                "log {l}: two reservations own the same entry"
+            );
+            assert_eq!(mine[l].min(theirs[l]), 0);
+            assert_eq!(mine[l].max(theirs[l]), 1);
+            assert_eq!(logs[l].log_tail(), 2, "log {l}: a reservation vanished");
+        }
+    });
+}
+
+/// Per-log coverage at the cut vector: whatever `(ct_0, ct_1)` a thread
+/// observes, every entry below each component is published in that log —
+/// no component ever borrows coverage from the other log.
+#[test]
+fn per_log_completed_tail_covers_only_published_entries() {
+    Builder::new("ml-completed-tail").check(|| {
+        let logs = Arc::new([Log::<u64>::new(4), Log::<u64>::new(4)]);
+        let l2 = Arc::clone(&logs);
+        let t = thread::spawn(move || {
+            for l in 0..2 {
+                let idx = reserve_write_publish(&l2[l], 100 + l as u64);
+                advance_past(&l2[l], idx);
+            }
+        });
+        let mut own = [0u64; 2];
+        for l in 0..2 {
+            own[l] = reserve_write_publish(&logs[l], 200 + l as u64);
+            advance_past(&logs[l], own[l]);
+        }
+        // Read the cut vector; each component must be covered by its own
+        // log's published entries, at every interleaving point.
+        let cut = [logs[0].completed_tail(), logs[1].completed_tail()];
+        for l in 0..2 {
+            assert!(
+                cut[l] >= own[l] + 1,
+                "log {l}: own advance not reflected (ct={}, idx={})",
+                cut[l],
+                own[l]
+            );
+            for j in 0..cut[l] {
+                assert!(
+                    logs[l].is_full(j),
+                    "log {l}: completedTail {} covers unpublished entry {j}",
+                    cut[l]
+                );
+            }
+        }
+        t.join().unwrap();
+        for l in 0..2 {
+            assert_eq!(logs[l].completed_tail(), 2, "log {l}: CAS-max must settle");
+        }
+    });
+}
+
+/// Cross-log ops through the gate land in the same order in every log, so
+/// the joint frontier `min(ct_0, ct_1)` always exposes one consistent
+/// cross-log history (the engine's "apply at the joint frontier" rule is
+/// sound).
+#[test]
+fn cross_log_order_is_consistent_at_the_joint_frontier() {
+    Builder::new("ml-joint-frontier").check(|| {
+        let logs = Arc::new([Log::<u64>::new(4), Log::<u64>::new(4)]);
+        // The multi gate: 0 = open; a thread CASes in its id to reserve
+        // slots in every log, then reopens. Mirrors the engine's gate,
+        // which serializes cross-log reservations.
+        let gate = Arc::new(AtomicU64::new(0));
+
+        let multi = |logs: &[Log<u64>; 2], gate: &AtomicU64, id: u64| {
+            use std::sync::atomic::Ordering;
+            while gate
+                .compare_exchange(0, id, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                thread::yield_now();
+            }
+            let mut idx = [0u64; 2];
+            for l in 0..2 {
+                idx[l] = reserve_write_publish(&logs[l], id);
+            }
+            gate.store(0, Ordering::Release);
+            for l in 0..2 {
+                advance_past(&logs[l], idx[l]);
+            }
+        };
+
+        let l2 = Arc::clone(&logs);
+        let g2 = Arc::clone(&gate);
+        let t = thread::spawn(move || multi(&l2, &g2, 1));
+        multi(&logs, &gate, 2);
+
+        // Joint frontier mid-observation: both logs' histories below
+        // min(ct_0, ct_1) must spell the same multi sequence.
+        let frontier = logs[0].completed_tail().min(logs[1].completed_tail());
+        let collect = |l: usize| {
+            let mut seq = Vec::new();
+            logs[l].for_each_op(0, frontier, |_, &op| seq.push(op));
+            seq
+        };
+        assert_eq!(
+            collect(0),
+            collect(1),
+            "logs disagree below the joint frontier {frontier}"
+        );
+        t.join().unwrap();
+
+        // After both multis: identical full order in both logs.
+        let full = |l: usize| {
+            let mut seq = Vec::new();
+            logs[l].for_each_op(0, 2, |_, &op| seq.push(op));
+            seq
+        };
+        let (a, b) = (full(0), full(1));
+        assert_eq!(a, b, "cross-log ops applied in different orders");
+        assert_eq!(a.len(), 2);
+        assert!(a == vec![1, 2] || a == vec![2, 1]);
+    });
+}

@@ -1,0 +1,708 @@
+//! Multi-lane node replication: the CNR-style engine over a [`LogSet`].
+//!
+//! One combiner per log was NR's write bottleneck: every update in the
+//! structure serialized through a single log tail and a single apply loop.
+//! [`MultiLaneReplicated`] partitions the update stream across `L` *lanes*
+//! — log `l` plus a replica partition guarded by its own combiner trylock —
+//! so commuting operations (single-key ops hashed to different lanes) are
+//! reserved, persisted, published, and applied by `L` combiners
+//! concurrently.
+//!
+//! ## Single-lane operations
+//!
+//! Flat combining per lane, exactly as `uc.rs` per node: the submitter arms
+//! its per-lane slot, and whoever wins the lane's trylock collects pending
+//! slots, reserves a batch in lane `l`'s log, writes + persists + publishes
+//! it, applies the published prefix, and delivers responses. Because a
+//! batch may end up applied by a *later* combiner (see the multi barrier
+//! below), each log entry carries its submitter's worker id — any applier
+//! can route the response.
+//!
+//! ## Cross-lane operations and the joint frontier
+//!
+//! A multi-key/scan op must be atomic across lanes. The submitter:
+//!
+//! 1. takes the **gate** (a ticket lock serializing multi ops — this
+//!    totally orders them, and their ids ascend in every log);
+//! 2. reserves one entry in **every** lane's log (lane order);
+//! 3. writes and persists the entry in every lane **before publishing in
+//!    any** — so a multi that is durable anywhere is completable
+//!    everywhere (see `prep-uc`'s multilog recovery);
+//! 4. publishes everywhere, then acquires **all** lane locks and applies
+//!    each lane up to and through its entry — the *joint frontier*.
+//!
+//! Lane combiners treat a published multi entry as a **barrier**: they
+//! apply singles up to it and park (release the lock) without consuming
+//! it. Only the gate-holding submitter applies multi entries, and it does
+//! so holding every lane lock, so no reader or combiner ever observes a
+//! multi applied to one lane but not another — which is what makes the
+//! op's visibility (not just its durability) atomic. Combiners never
+//! block while holding a lane lock (one reservation attempt, no waiting
+//! loops), so the submitter's ordered lock acquisition cannot deadlock.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+use prep_seqds::SequentialObject;
+use prep_sync::{TicketLock, TryLock, Waiter};
+
+use crate::multilog::LogSet;
+
+/// What a lane's log entry holds: a single-lane operation tagged with its
+/// submitter (so any applier can deliver the response), or one lane's
+/// instance of a cross-lane operation.
+#[derive(Debug, Clone)]
+pub enum MlOp<O> {
+    /// A single-lane operation submitted by `worker`.
+    Single {
+        /// The submitting worker's slot index — the response destination.
+        worker: u32,
+        /// The operation itself.
+        op: O,
+    },
+    /// One lane's instance of a cross-lane operation. The same `id` (gate
+    /// sequence number) appears once in every lane's log; ids ascend in
+    /// every log because the gate serializes multi ops.
+    Multi {
+        /// Gate sequence number of the cross-lane operation.
+        id: u64,
+        /// The operation (full copy in every lane; each lane applies it to
+        /// its partition).
+        op: O,
+    },
+}
+
+/// Persistence hook points for the multi-lane engine — `NrHooks`
+/// generalized with a log index. The no-op defaults yield the volatile
+/// engine (the multi-lane analog of PREP-V).
+pub trait MlHooks<O: Clone>: Send + Sync + 'static {
+    /// Gate for reserving at `tail` in log `l` (flush-boundary check).
+    fn reserve_admitted(&self, _log: usize, _tail: u64) -> bool {
+        true
+    }
+
+    /// Persist the payload bytes of log `l`'s entries `range` (durable
+    /// mode: flush + one fence). Runs after the payload writes, before
+    /// publication.
+    fn persist_batch_payload(&self, _log: usize, _range: std::ops::Range<u64>, _ops: &[MlOp<O>]) {}
+
+    /// Persist the emptyBit image of log `l`'s entries `range` (durable
+    /// mode). Runs **before** the volatile publish: an entry must not
+    /// become coverable by a durably-published completedTail until its
+    /// image is fenced.
+    fn persist_batch_published(&self, _log: usize, _range: std::ops::Range<u64>, _ops: &[MlOp<O>]) {
+    }
+
+    /// Make log `l`'s `completedTail = ct` durable (durable mode). Runs
+    /// before the responses covered by `ct` are delivered.
+    fn ensure_completed_tail_durable(&self, _log: usize, _ct: u64) {}
+
+    /// Both persistent replicas' applied tails in log `l`, for log-space
+    /// reclamation. `u64::MAX` means "no persistent reader".
+    fn persistent_tails(&self, _log: usize) -> [u64; 2] {
+        [u64::MAX, u64::MAX]
+    }
+}
+
+/// The no-op hooks: a purely volatile multi-lane engine.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopMlHooks;
+
+impl<O: Clone> MlHooks<O> for NoopMlHooks {}
+
+/// Registration token: the caller's worker index (one flat-combining slot
+/// per lane per worker).
+#[derive(Debug)]
+pub struct MlToken {
+    worker: usize,
+}
+
+impl MlToken {
+    /// The worker index this token was registered with.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+}
+
+const SLOT_EMPTY: u64 = 0;
+/// Armed: `op` is set, waiting for a combiner to collect it.
+const SLOT_PENDING: u64 = 1;
+/// Collected into a published batch; the response arrives when some
+/// applier advances the lane past the batch.
+const SLOT_INFLIGHT: u64 = 2;
+/// Applied: `resp` is set, waiting for the submitter to consume it.
+const SLOT_DONE: u64 = 3;
+
+struct Slot<T: SequentialObject> {
+    // shared-line: each whole Slot is stored as CachePadded<Slot<T>> in
+    // Lane::slots, so the state word already owns its line.
+    state: AtomicU64,
+    op: UnsafeCell<Option<T::Op>>,
+    resp: UnsafeCell<Option<T::Resp>>,
+}
+
+// SAFETY: the slot cells are guarded by the `state` protocol — `op` is
+// written only by the owning worker before the PENDING Release store and
+// read only by the unique PENDING→INFLIGHT CAS winner; `resp` is written
+// only by the (lane-lock-holding, hence unique) applier before the DONE
+// Release store and read only by the owning worker after observing DONE.
+unsafe impl<T: SequentialObject> Sync for Slot<T> {}
+
+impl<T: SequentialObject> Slot<T> {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU64::new(SLOT_EMPTY),
+            op: UnsafeCell::new(None),
+            resp: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// One lane: a replica partition behind its combiner trylock, its applied
+/// position in lane `l`'s log, and the lane's flat-combining slots.
+struct Lane<T: SequentialObject> {
+    /// The lane's replica partition; holding the lock is what makes a
+    /// thread this lane's combiner (or reader).
+    obj: TryLock<T>,
+    /// First log index not yet applied to `obj`. Written only under the
+    /// lane lock; read locklessly for floor computation.
+    local_tail: CachePadded<AtomicU64>,
+    /// Per-worker flat-combining slots (each padded: a worker spins on its
+    /// own slot's line).
+    slots: Box<[CachePadded<Slot<T>>]>,
+    /// Combine rounds executed on this lane — the "is this combiner
+    /// actually active" evidence `prep-bench -- writescale` reports.
+    combine_rounds: CachePadded<AtomicU64>,
+}
+
+/// The multi-lane (CNR-style) replicated object. See module docs.
+pub struct MultiLaneReplicated<T: SequentialObject, H: MlHooks<T::Op>> {
+    set: LogSet<MlOp<T::Op>>,
+    lanes: Box<[Lane<T>]>,
+    /// Serializes cross-lane operations; its ticket order is their total
+    /// order.
+    gate: TicketLock,
+    /// Next multi id. Only mutated under the gate.
+    // shared-line: gate-serialized — never contended, padding wasted.
+    next_multi_id: AtomicU64,
+    hooks: H,
+    max_workers: usize,
+    registered: Box<[CachePadded<AtomicBool>]>,
+}
+
+impl<T: SequentialObject, H: MlHooks<T::Op>> MultiLaneReplicated<T, H> {
+    /// Builds an engine whose `lanes` partitions all start as copies of
+    /// `obj`.
+    ///
+    /// Routing by key means each lane's partition only ever *sees* its
+    /// key subset, so `obj` must be empty or otherwise consistent with
+    /// every partition (recovery instead rebuilds per-lane states and uses
+    /// [`MultiLaneReplicated::from_lane_states`]).
+    pub fn new(obj: &T, lanes: usize, max_workers: usize, log_size: u64, hooks: H) -> Self {
+        Self::from_lane_states(
+            (0..lanes).map(|_| obj.clone_object()).collect(),
+            max_workers,
+            log_size,
+            hooks,
+        )
+    }
+
+    /// Builds an engine from explicit per-lane partition states (recovery).
+    ///
+    /// # Panics
+    /// Panics if `states` is empty or `max_workers == 0`.
+    pub fn from_lane_states(states: Vec<T>, max_workers: usize, log_size: u64, hooks: H) -> Self {
+        assert!(!states.is_empty(), "at least one lane required");
+        assert!(max_workers > 0, "at least one worker required");
+        let lanes = states.len();
+        MultiLaneReplicated {
+            set: LogSet::new(lanes, log_size),
+            lanes: states
+                .into_iter()
+                .map(|obj| Lane {
+                    obj: TryLock::new(obj),
+                    local_tail: CachePadded::new(AtomicU64::new(0)),
+                    slots: (0..max_workers)
+                        .map(|_| CachePadded::new(Slot::new()))
+                        .collect(),
+                    combine_rounds: CachePadded::new(AtomicU64::new(0)),
+                })
+                .collect(),
+            gate: TicketLock::new(),
+            next_multi_id: AtomicU64::new(0),
+            hooks,
+            max_workers,
+            registered: (0..max_workers)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    /// Number of lanes (= logs).
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The engine's log set (read access for the persistence thread and
+    /// tests).
+    pub fn log_set(&self) -> &LogSet<MlOp<T::Op>> {
+        &self.set
+    }
+
+    /// The installed hooks.
+    pub fn hooks(&self) -> &H {
+        &self.hooks
+    }
+
+    /// Registers worker `worker` (one flat-combining slot per lane).
+    ///
+    /// # Panics
+    /// Panics if `worker ≥ max_workers` or is already registered.
+    pub fn register(&self, worker: usize) -> MlToken {
+        assert!(worker < self.max_workers, "worker index out of range");
+        // ord: AcqRel — makes double-registration detection a total order.
+        let was = self.registered[worker].swap(true, Ordering::AcqRel);
+        assert!(!was, "worker {worker} registered twice");
+        MlToken { worker }
+    }
+
+    /// Lane `l`'s applied position in its log.
+    pub fn lane_tail(&self, l: usize) -> u64 {
+        // ord: Acquire pairs with the applier's Release — the partition
+        // state behind a tail t reflects every entry below t.
+        self.lanes[l].local_tail.load(Ordering::Acquire)
+    }
+
+    /// Combine rounds executed on lane `l` so far.
+    pub fn combine_rounds(&self, l: usize) -> u64 {
+        // ord: Relaxed — monotonic counter, no ordering needed.
+        self.lanes[l].combine_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Every lane's `completedTail` (the joint frontier vector).
+    pub fn completed_vector(&self) -> Vec<u64> {
+        self.set.completed_vector()
+    }
+
+    /// Runs `f` on lane `l`'s partition under the lane lock (tests,
+    /// metrics).
+    pub fn with_lane<R>(&self, l: usize, f: impl FnOnce(&T) -> R) -> R {
+        let mut w = Waiter::new();
+        loop {
+            if let Some(guard) = self.lanes[l].obj.try_lock() {
+                return f(&guard);
+            }
+            w.wait();
+        }
+    }
+
+    /// Executes a single-lane **update** on lane `lane`.
+    pub fn execute(&self, token: &MlToken, lane: usize, op: T::Op) -> T::Resp {
+        debug_assert!(!T::is_read_only(&op), "updates only — use execute_readonly");
+        let slot = &self.lanes[lane].slots[token.worker];
+        debug_assert_eq!(
+            // ord: Relaxed — our own last store; nothing to synchronize.
+            slot.state.load(Ordering::Relaxed),
+            SLOT_EMPTY,
+            "one in-flight op per worker"
+        );
+        // SAFETY: this worker owns the slot and it is EMPTY (we consumed
+        // the previous response); no other thread reads `op` until the
+        // PENDING store below publishes it.
+        unsafe { *slot.op.get() = Some(op) };
+        // ord: Release publishes the op to the collecting combiner's
+        // Acquire CAS.
+        slot.state.store(SLOT_PENDING, Ordering::Release);
+        let mut w = Waiter::new();
+        loop {
+            // ord: Acquire pairs with the applier's DONE Release — the
+            // response write is visible.
+            if slot.state.load(Ordering::Acquire) == SLOT_DONE {
+                // SAFETY: DONE means the applier set `resp` before its
+                // Release; this worker is the unique consumer.
+                let resp = unsafe { (*slot.resp.get()).take() }.expect("resp set at DONE");
+                // ord: Release orders the consumption before the slot's
+                // next arming.
+                slot.state.store(SLOT_EMPTY, Ordering::Release);
+                return resp;
+            }
+            self.try_combine(lane);
+            w.wait();
+        }
+    }
+
+    /// Executes a single-lane **read-only** op on lane `lane` under the
+    /// lane lock. Completed operations are always applied before their
+    /// response is delivered, so the partition behind the lock reflects
+    /// every completed op that touches this lane.
+    pub fn execute_readonly(&self, lane: usize, op: &T::Op) -> T::Resp {
+        debug_assert!(T::is_read_only(op), "read-only path");
+        let mut w = Waiter::new();
+        loop {
+            if let Some(guard) = self.lanes[lane].obj.try_lock() {
+                return guard.apply_readonly(op);
+            }
+            w.wait();
+        }
+    }
+
+    /// Executes a cross-lane operation: one log entry per lane, applied at
+    /// the joint frontier under **all** lane locks (module docs). Returns
+    /// each lane's response, in lane order; the caller folds them.
+    pub fn execute_multi(&self, op: &T::Op) -> Vec<T::Resp> {
+        let lanes = self.lanes.len();
+        let _gate = self.gate.lock();
+        // ord: Relaxed — the gate serializes all mutations of the id.
+        let id = self.next_multi_id.fetch_add(1, Ordering::Relaxed);
+
+        // Reserve one entry in every lane's log (lane order — immaterial,
+        // the gate already excludes other multi submitters).
+        let mut ress = Vec::with_capacity(lanes);
+        for l in 0..lanes {
+            let mut w = Waiter::new();
+            let res = loop {
+                if self.hooks.reserve_admitted(l, self.set.log(l).log_tail()) {
+                    self.update_floor(l, self.lane_tail(l));
+                    if let Some(r) = self.set.try_reserve(l, 1) {
+                        break r;
+                    }
+                }
+                w.wait();
+            };
+            ress.push(res);
+        }
+
+        // Write + persist the payload in EVERY lane before publishing in
+        // ANY lane: once any lane's entry is visible (and hence coverable
+        // by that lane's durably-published completedTail), the op is
+        // already recoverable from every other lane's image — this
+        // ordering is the multi-op atomicity argument across a crash.
+        for (l, res) in ress.iter_mut().enumerate() {
+            let entry = MlOp::Multi { id, op: op.clone() };
+            self.set.write(res, 0, entry.clone());
+            let batch = [entry];
+            self.hooks.persist_batch_payload(l, res.range(), &batch);
+            self.hooks.persist_batch_published(l, res.range(), &batch);
+        }
+        for res in &mut ress {
+            self.set.publish(res);
+        }
+
+        // Acquire every lane lock. Combiners never block while holding a
+        // lane lock (one reservation attempt, barrier parking instead of
+        // waiting), so each acquisition terminates.
+        let mut guards = Vec::with_capacity(lanes);
+        for lane in self.lanes.iter() {
+            let mut w = Waiter::new();
+            loop {
+                if let Some(g) = lane.obj.try_lock() {
+                    guards.push(g);
+                    break;
+                }
+                w.wait();
+            }
+        }
+
+        // Joint frontier: with all locks held, drain each lane's published
+        // singles up to our barrier entry, then apply the multi itself.
+        // Nothing can observe a lane in between, so the op's visibility is
+        // atomic across lanes.
+        let mut resps = Vec::with_capacity(lanes);
+        for (l, guard) in guards.iter_mut().enumerate() {
+            let barrier = ress[l].start();
+            self.apply_published(l, guard, barrier);
+            debug_assert_eq!(
+                // ord: Relaxed — we hold the lane lock; only holders write it.
+                self.lanes[l].local_tail.load(Ordering::Relaxed),
+                barrier,
+                "gap below a multi barrier must be fully published singles"
+            );
+            let mut resp = None;
+            self.set
+                .log(l)
+                .for_each_op(barrier, barrier + 1, |_, e| match e {
+                    MlOp::Multi { id: eid, op } => {
+                        debug_assert_eq!(*eid, id, "one multi in flight at a time");
+                        resp = Some(guard.apply(op));
+                    }
+                    MlOp::Single { .. } => unreachable!("barrier entry is this multi"),
+                });
+            let lane_tail = &self.lanes[l].local_tail;
+            // ord: Release pairs with lane_tail's Acquire readers.
+            lane_tail.store(barrier + 1, Ordering::Release);
+            self.set.advance_completed(l, barrier + 1);
+            self.update_floor(l, barrier + 1);
+            resps.push(resp.expect("just published"));
+        }
+        drop(guards);
+
+        // Durable mode: the ack must be crash-proof in every lane before
+        // the caller sees it.
+        for l in 0..lanes {
+            self.hooks
+                .ensure_completed_tail_durable(l, self.set.log(l).completed_tail());
+        }
+        resps
+    }
+
+    /// One combining attempt on `lane`: catch up the published prefix,
+    /// collect pending slots, reserve/write/persist/publish a batch, apply
+    /// it, deliver responses. Never blocks while holding the lane lock —
+    /// on backpressure it reverts the collected slots and returns; at a
+    /// multi barrier it parks (the gate holder applies the multi, and the
+    /// still-spinning submitters re-elect a combiner for the rest).
+    fn try_combine(&self, l: usize) {
+        let lane = &self.lanes[l];
+        let Some(mut guard) = lane.obj.try_lock() else {
+            return;
+        };
+        // ord: Relaxed — monotonic diagnostics counter.
+        lane.combine_rounds.fetch_add(1, Ordering::Relaxed);
+
+        // Entries published by a parked predecessor (or by helping) first.
+        self.apply_published(l, &mut guard, u64::MAX);
+
+        // Collect armed slots.
+        let mut batch: Vec<(usize, T::Op)> = Vec::new();
+        for (w, slot) in lane.slots.iter().enumerate() {
+            // ord: Acquire pairs with the submitter's PENDING Release (op
+            // visible before the state reads PENDING).
+            if slot.state.load(Ordering::Acquire) != SLOT_PENDING {
+                continue;
+            }
+            // ord: AcqRel — success acquires the submitter's op publish and
+            // releases INFLIGHT, making this thread the unique collector;
+            // Relaxed failure just skips the slot (someone else collected).
+            let claimed = slot.state.compare_exchange(
+                SLOT_PENDING,
+                SLOT_INFLIGHT,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
+            if claimed.is_ok() {
+                // SAFETY: the CAS win makes us the unique collector of an
+                // armed slot; the op was published by the PENDING store.
+                let op = unsafe { (*slot.op.get()).take() }.expect("op set at PENDING");
+                batch.push((w, op));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+
+        // One reservation attempt — never wait holding the lane lock.
+        let n = batch.len() as u64;
+        let res = if self.hooks.reserve_admitted(l, self.set.log(l).log_tail()) {
+            // ord: Relaxed — we hold the lane lock; only holders write it.
+            self.update_floor(l, lane.local_tail.load(Ordering::Relaxed));
+            self.set.try_reserve(l, n)
+        } else {
+            None
+        };
+        let Some(mut res) = res else {
+            // Backpressure (flush boundary or ring capacity): re-arm the
+            // slots and let the submitters re-elect a combiner later.
+            for (w, op) in batch {
+                let slot = &lane.slots[w];
+                // SAFETY: we own the INFLIGHT slot (CAS above); restore the
+                // op before re-arming so the next collector finds it.
+                unsafe { *slot.op.get() = Some(op) };
+                // ord: Release republishes the op with the PENDING state.
+                slot.state.store(SLOT_PENDING, Ordering::Release);
+            }
+            return;
+        };
+
+        let ops: Vec<MlOp<T::Op>> = batch
+            .into_iter()
+            .map(|(w, op)| MlOp::Single {
+                worker: w as u32,
+                op,
+            })
+            .collect();
+        for (off, e) in ops.iter().enumerate() {
+            self.set.write(&mut res, off as u64, e.clone());
+        }
+        self.hooks.persist_batch_payload(l, res.range(), &ops);
+        // Durable publish precedes the volatile publish (hook docs).
+        self.hooks.persist_batch_published(l, res.range(), &ops);
+        self.set.publish(&mut res);
+
+        // Apply through our batch. A multi barrier in the gap parks us —
+        // our published batch is then applied (and responses delivered) by
+        // whichever combiner runs after the gate holder clears the barrier.
+        self.apply_published(l, &mut guard, res.range().end);
+    }
+
+    /// Applies lane `l`'s published entries from its `local_tail` up to
+    /// `limit`, stopping early at an unpublished entry or at a multi
+    /// barrier (multi entries are applied only by the gate holder).
+    /// Advances `completedTail`, makes it durable, and only then delivers
+    /// the batch responses — an acked op is always covered by a durable
+    /// `completedTail` in durable mode.
+    ///
+    /// Caller must hold lane `l`'s lock (`obj` is the locked partition).
+    fn apply_published(&self, l: usize, obj: &mut T, limit: u64) {
+        let lane = &self.lanes[l];
+        // ord: Relaxed — we hold the lane lock; only holders write it.
+        let start = lane.local_tail.load(Ordering::Relaxed);
+        let mut idx = start;
+        let mut deliveries: Vec<(usize, T::Resp)> = Vec::new();
+        while idx < limit && self.set.log(l).is_full(idx) {
+            let mut parked = false;
+            self.set.log(l).for_each_op(idx, idx + 1, |_, e| match e {
+                MlOp::Single { worker, op } => {
+                    let resp = obj.apply(op);
+                    deliveries.push((*worker as usize, resp));
+                }
+                MlOp::Multi { .. } => parked = true,
+            });
+            if parked {
+                break;
+            }
+            idx += 1;
+        }
+        if idx == start {
+            return;
+        }
+        // ord: Release pairs with lane_tail's Acquire readers: the
+        // partition reflects everything below idx.
+        lane.local_tail.store(idx, Ordering::Release);
+        self.set.advance_completed(l, idx);
+        self.hooks
+            .ensure_completed_tail_durable(l, self.set.log(l).completed_tail());
+        self.update_floor(l, idx);
+        for (w, resp) in deliveries {
+            let slot = &lane.slots[w];
+            debug_assert_eq!(
+                // ord: Relaxed — diagnostic only; the INFLIGHT transition
+                // happened under this same lane lock.
+                slot.state.load(Ordering::Relaxed),
+                SLOT_INFLIGHT,
+                "applied entry's slot must be in flight"
+            );
+            // SAFETY: the entry's worker id names a slot our lane lock made
+            // INFLIGHT (collected into a published batch) — we are its
+            // unique applier; write the response before the DONE store.
+            unsafe { *slot.resp.get() = Some(resp) };
+            // ord: Release publishes the response to the submitter's
+            // Acquire spin.
+            slot.state.store(SLOT_DONE, Ordering::Release);
+        }
+    }
+
+    /// Recomputes log `l`'s applied floor (minimum over the lane replica
+    /// and both persistent replicas) and unpins slots below it.
+    fn update_floor(&self, l: usize, lane_tail: u64) {
+        let [p0, p1] = self.hooks.persistent_tails(l);
+        let floor = lane_tail.min(p0).min(p1);
+        // SAFETY: `floor` is the minimum applied tail over every reader of
+        // log `l` — the lane replica (applies under the lane lock) and the
+        // two persistent replicas (the hooks' tails) — and each is
+        // monotone, so no reader will ever read below it again.
+        unsafe { self.set.mark_applied(l, floor) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prep_seqds::recorder::{Recorder, RecorderOp, RecorderResp};
+    use std::sync::Arc;
+
+    fn engine(lanes: usize, workers: usize) -> MultiLaneReplicated<Recorder, NoopMlHooks> {
+        MultiLaneReplicated::new(&Recorder::new(), lanes, workers, 64, NoopMlHooks)
+    }
+
+    #[test]
+    fn singles_flow_through_their_own_lane() {
+        let e = engine(2, 1);
+        let t = e.register(0);
+        for i in 0..10u64 {
+            e.execute(&t, (i % 2) as usize, RecorderOp::Record(i));
+        }
+        assert_eq!(
+            e.with_lane(0, |r| r.history().to_vec()),
+            vec![0, 2, 4, 6, 8]
+        );
+        assert_eq!(
+            e.with_lane(1, |r| r.history().to_vec()),
+            vec![1, 3, 5, 7, 9]
+        );
+        assert_eq!(e.completed_vector(), vec![5, 5]);
+        assert!(e.combine_rounds(0) >= 1 && e.combine_rounds(1) >= 1);
+    }
+
+    #[test]
+    fn multi_reaches_every_lane_at_the_joint_frontier() {
+        let e = engine(3, 1);
+        let t = e.register(0);
+        e.execute(&t, 0, RecorderOp::Record(1));
+        e.execute(&t, 2, RecorderOp::Record(2));
+        let resps = e.execute_multi(&RecorderOp::Record(99));
+        assert_eq!(resps.len(), 3);
+        for l in 0..3 {
+            let hist = e.with_lane(l, |r| r.history().to_vec());
+            assert_eq!(hist.last(), Some(&99), "lane {l} applied the multi last");
+        }
+        // Every lane consumed exactly its own singles plus the multi.
+        assert_eq!(e.completed_vector(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn readonly_sees_completed_updates() {
+        let e = engine(2, 1);
+        let t = e.register(0);
+        e.execute(&t, 1, RecorderOp::Record(7));
+        match e.execute_readonly(1, &RecorderOp::Count) {
+            RecorderResp::Count(c) => assert_eq!(c, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_lanes_commute_and_multis_are_ordered() {
+        let e = Arc::new(engine(2, 4));
+        let threads: Vec<_> = (0..4)
+            .map(|w| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let t = e.register(w);
+                    for i in 0..50u64 {
+                        let id = (w as u64) * 1000 + i;
+                        if w == 3 && i % 10 == 0 {
+                            e.execute_multi(&RecorderOp::Record(id));
+                        } else {
+                            e.execute(&t, w % 2, RecorderOp::Record(id));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        // Every op completed exactly once; multis (5 of them) appear in
+        // both lanes, singles in exactly one.
+        let h0 = e.with_lane(0, |r| r.history().to_vec());
+        let h1 = e.with_lane(1, |r| r.history().to_vec());
+        let multis: Vec<u64> = (0..50).filter(|i| i % 10 == 0).map(|i| 3000 + i).collect();
+        for m in &multis {
+            assert!(h0.contains(m) && h1.contains(m), "multi {m} in both lanes");
+        }
+        assert_eq!(h0.len() + h1.len(), 50 * 4 + multis.len());
+        // Gate order: multis appear in the same relative order in every lane.
+        let order =
+            |h: &[u64]| -> Vec<u64> { h.iter().copied().filter(|v| multis.contains(v)).collect() };
+        assert_eq!(order(&h0), order(&h1), "joint frontier orders multis");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_registration_rejected() {
+        let e = engine(1, 2);
+        let _a = e.register(1);
+        let _b = e.register(1);
+    }
+}

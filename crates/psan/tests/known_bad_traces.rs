@@ -158,6 +158,58 @@ fn cases() -> Vec<Case> {
             expect: &[ViolationKind::StaleRecoveryRead],
         },
         Case {
+            name: "multilog missing_fence: cut-vector checkpoint covers log A's \
+                   drained bytes but log B's flush has no draining sfence",
+            trace: vec![
+                // Log A's entry bytes are fully drained before the cut.
+                store(0, 1, 0, 32),
+                flush(1, 1, 0),
+                fence(2, 1),
+                // Log B's entry bytes are flushed but the combiner skips
+                // the sfence before selecting the cut vector, so the
+                // selector can go durable while B's bytes are in flight.
+                store(3, 1, 1024, 32),
+                flush(4, 1, 1024),
+                publish(
+                    5,
+                    1,
+                    4096,
+                    vec![(0, 32), (1024, 32)],
+                    PublishTag::CheckpointMarker,
+                ),
+                flush(6, 1, 4096),
+                fence(7, 1),
+            ],
+            expect: &[ViolationKind::MissingFence],
+        },
+        Case {
+            name: "multilog stale_recovery_read: recovery reads log B past its cut tail",
+            trace: vec![
+                // Log B entry 0 durable, its completedTail covers it: clean.
+                store(0, 1, 1024, 16),
+                flush(1, 1, 1024),
+                fence(2, 1),
+                publish(3, 1, 2048, vec![(1024, 16)], PublishTag::CompletedTail),
+                flush(4, 1, 2048),
+                fence(5, 1),
+                // Entry 1 lands past B's completedTail and is still dirty
+                // at the crash; recovery must replay only up to the cut
+                // tail, but reads the over-tail entry anyway.
+                store(6, 1, 1040, 16),
+                ev(7, 1, EventKind::CrashCut { id: 1 }),
+                ev(
+                    8,
+                    1,
+                    EventKind::RecoveryRead {
+                        addr: 1040,
+                        len: 16,
+                        cut: 1,
+                    },
+                ),
+            ],
+            expect: &[ViolationKind::StaleRecoveryRead],
+        },
+        Case {
             name: "redundant_flush: same line flushed twice in one epoch, no store between",
             trace: vec![
                 store(0, 1, 0, 8),
@@ -340,6 +392,79 @@ fn violation_chains_name_the_store_and_the_trigger() {
     let report = prep_psan::format_violations(&violations);
     assert!(report.contains("missing-fence"), "{report}");
     assert!(report.contains("known_bad_traces"), "{report}");
+}
+
+#[test]
+fn multilog_cut_vector_bisection_pinpoints_the_undrained_log() {
+    // Two-log cut-vector checkpoint: log A's bytes are drained, log B's
+    // are flushed but unfenced when the selector goes durable. The report
+    // must blame log B's range, and the bisected window must be exactly
+    // the instants between the durable selector and the fence that
+    // finally drains B.
+    let trace = vec![
+        store(0, 1, 0, 8), // log A entry
+        flush(1, 1, 0),
+        fence(2, 1),          // A drained
+        store(3, 1, 1024, 8), // log B entry
+        flush(4, 1, 1024),    // never fenced before the selector
+        ev(
+            5,
+            1,
+            EventKind::Publish {
+                addr: 4096,
+                len: 8,
+                deps: vec![(0, 8), (1024, 8)],
+                tag: PublishTag::CheckpointMarker,
+                durable: true,
+            },
+        ),
+        fence(6, 1),
+    ];
+    let violations = check_trace(&trace);
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.kind, ViolationKind::MissingFence);
+    // Log B's bytes, not log A's.
+    assert_eq!(v.range, (1024, 1032));
+    // Crash instants 6..7: after the durable selector, before B's fence.
+    assert_eq!(v.crash_window, Some((6, 7)));
+    assert_eq!(prep_psan::crash_window(&trace, 5), Some((6, 7)));
+}
+
+#[test]
+fn multilog_over_tail_recovery_read_names_the_store_cut_and_read() {
+    // Same shape as the table's multilog stale_recovery_read case, with
+    // the chain and the clean per-log completedTail pinned down.
+    let trace = vec![
+        store(0, 1, 1024, 16),
+        flush(1, 1, 1024),
+        fence(2, 1),
+        publish(3, 1, 2048, vec![(1024, 16)], PublishTag::CompletedTail),
+        flush(4, 1, 2048),
+        fence(5, 1),
+        store(6, 1, 1040, 16),
+        ev(7, 1, EventKind::CrashCut { id: 1 }),
+        ev(
+            8,
+            1,
+            EventKind::RecoveryRead {
+                addr: 1040,
+                len: 16,
+                cut: 1,
+            },
+        ),
+    ];
+    let violations = check_trace(&trace);
+    assert_eq!(violations.len(), 1, "{violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.kind, ViolationKind::StaleRecoveryRead);
+    assert_eq!(v.range, (1040, 1056));
+    // Chain: the over-tail store, the cut, the offending read.
+    let seqs: Vec<u64> = v.chain.iter().map(|e| e.seq).collect();
+    assert_eq!(seqs, vec![6, 7, 8]);
+    // The per-log completedTail publish itself is clean — its dep was
+    // durable before it, so no divergent crash window exists.
+    assert_eq!(prep_psan::crash_window(&trace, 3), None);
 }
 
 #[test]

@@ -6,24 +6,43 @@ use std::sync::Arc;
 use prep_pmem::{CrashToken, PersistentDirectory, PmemRuntime, PmemStatsSnapshot};
 use prep_seqds::SequentialObject;
 use prep_topology::ThreadAssignment;
-use prep_uc::{CrashImage, PrepConfig, PrepUc, ThreadToken};
+use prep_uc::{
+    CrashImage, LaneRouter, MlCrashImage, MlToken, MultiLogUc, PrepConfig, PrepUc, ThreadToken,
+};
 
 use crate::metrics::{ShardMetrics, StoreMetrics};
-use crate::router::ShardRouter;
+use crate::router::{lane_index, ShardRouter};
 
 /// Directory root naming the persisted shard count.
 const ROOT_SHARDS: &str = "prep-shard/shards";
+/// Directory root naming the persisted logs-per-shard count (1 for
+/// single-log shards).
+const ROOT_LANES: &str = "prep-shard/lanes";
 /// Directory root counting completed recoveries (crash epochs survived).
 const ROOT_EPOCH: &str = "prep-shard/epoch";
 
-/// A worker's registration across every shard: one NR thread token per
+/// One shard's universal construction: the classic single-log PREP-UC, or
+/// the multi-log (persistent CNR) construction with `lanes` logs.
+enum Backend<T: SequentialObject> {
+    Single(PrepUc<T>),
+    Multi(MultiLogUc<T>),
+}
+
+/// One shard's registration, matching its backend kind.
+#[derive(Debug)]
+enum TokenKind {
+    Single(ThreadToken),
+    Multi(MlToken),
+}
+
+/// A worker's registration across every shard: one thread token per
 /// shard, so the router can dispatch any operation without registering on
 /// the fly. Obtain via [`ShardedStore::register`]; tokens are per-thread
-/// (NR flat-combining slots are thread-owned) and must not be shared.
+/// (flat-combining slots are thread-owned) and must not be shared.
 #[derive(Debug)]
 pub struct ShardToken {
     worker: usize,
-    tokens: Vec<ThreadToken>,
+    tokens: Vec<TokenKind>,
 }
 
 impl ShardToken {
@@ -33,22 +52,38 @@ impl ShardToken {
     }
 }
 
+/// One shard's crash image, matching its backend kind.
+pub enum ShardImage<T: SequentialObject> {
+    /// A single-log shard's image.
+    Single(CrashImage<T>),
+    /// A multi-log shard's image (cut **vector**; see
+    /// [`prep_uc::MlCrashImage`]).
+    Multi(MlCrashImage<T>),
+}
+
 /// Everything durable at the instant of a sharded power failure: one
 /// consistent cut spanning the metadata directory and every shard's NVM
-/// images. Produced by [`ShardedStore::simulate_crash`]; consumed by
-/// [`ShardedStore::recover`].
+/// images — including, for multi-log shards, every *log's* image inside
+/// the same cut. Produced by [`ShardedStore::simulate_crash`]; consumed by
+/// [`ShardedStore::recover`] / [`ShardedStore::recover_multilog`].
 pub struct ShardedCrashImage<T: SequentialObject> {
-    /// The persisted metadata namespace (shard count, recovery epoch,
-    /// per-shard roots).
+    /// The persisted metadata namespace (shard count, lanes per shard,
+    /// recovery epoch, per-shard roots).
     pub directory: BTreeMap<String, u64>,
     /// Per-shard crash images, indexed by shard.
-    pub shards: Vec<CrashImage<T>>,
+    pub shards: Vec<ShardImage<T>>,
 }
 
 impl<T: SequentialObject> ShardedCrashImage<T> {
     /// The shard count recorded in the persisted directory, if present.
     pub fn persisted_shards(&self) -> Option<u64> {
         self.directory.get(ROOT_SHARDS).copied()
+    }
+
+    /// The logs-per-shard count recorded in the persisted directory (1
+    /// for stores that predate multi-log shards).
+    pub fn persisted_lanes(&self) -> u64 {
+        self.directory.get(ROOT_LANES).copied().unwrap_or(1)
     }
 
     /// The recovery epoch recorded in the persisted directory (0 for a
@@ -58,15 +93,31 @@ impl<T: SequentialObject> ShardedCrashImage<T> {
     }
 }
 
-/// A hash-partitioned persistent store: N independent [`PrepUc`] shards
-/// behind a key router, with single-cut cross-shard crash recovery.
+/// Cross-log classifier: `true` sends the op down its shard's ordered
+/// cross-log path (see [`ShardedStore::new_multilog`]).
+type CrossFn<T> = Arc<dyn Fn(&<T as SequentialObject>::Op) -> bool + Send + Sync>;
+
+/// Cross-log response fold: combines one response per lane into the op's
+/// final response (see [`ShardedStore::new_multilog`]).
+type FoldFn<T> = Arc<
+    dyn Fn(
+            &<T as SequentialObject>::Op,
+            Vec<<T as SequentialObject>::Resp>,
+        ) -> <T as SequentialObject>::Resp
+        + Send
+        + Sync,
+>;
+
+/// A hash-partitioned persistent store: N independent PREP-UC shards —
+/// each optionally multi-log ([`MultiLogUc`], persistent CNR) — behind a
+/// key router, with single-cut cross-shard crash recovery.
 ///
 /// See the crate docs for the design; in short, each shard has its own
-/// operation log, replica set, flush boundary, and persistence thread, and
-/// all shards share one [`PmemRuntime`] so a crash freezes every shard's
-/// NVM image in the same consistent cut.
+/// operation log(s), replica set, flush boundary, and persistence thread,
+/// and all shards share one [`PmemRuntime`] so a crash freezes every
+/// shard's — and every log's — NVM image in the same consistent cut.
 pub struct ShardedStore<T: SequentialObject> {
-    shards: Vec<PrepUc<T>>,
+    shards: Vec<Backend<T>>,
     router: ShardRouter<T::Op>,
     assignment: ThreadAssignment,
     directory: Arc<PersistentDirectory>,
@@ -77,9 +128,10 @@ pub struct ShardedStore<T: SequentialObject> {
 }
 
 impl<T: SequentialObject> ShardedStore<T> {
-    /// Builds a store of `shards` partitions, each an independent PREP-UC
-    /// over a copy of `obj`, all sharing `config.runtime` (one crash
-    /// image). `key_fn` extracts the routing key from an operation.
+    /// Builds a store of `shards` single-log partitions, each an
+    /// independent PREP-UC over a copy of `obj`, all sharing
+    /// `config.runtime` (one crash image). `key_fn` extracts the routing
+    /// key from an operation.
     ///
     /// # Panics
     /// Panics if `shards` is zero or `config` violates PREP-UC's parameter
@@ -94,6 +146,46 @@ impl<T: SequentialObject> ShardedStore<T> {
         let router = ShardRouter::new(shards, key_fn);
         let objs = (0..shards).map(|_| obj.clone_object()).collect();
         Self::build(objs, router, assignment, config, 0)
+    }
+
+    /// Builds a store of `shards` **multi-log** partitions: each shard is
+    /// a [`MultiLogUc`] with `lanes` logs, so update throughput scales
+    /// with `shards × lanes` combiners instead of `shards`.
+    ///
+    /// Routing subsumption: `key_fn` is hashed **once** per op; the shard
+    /// is the hash's low digit and the lane the next
+    /// ([`crate::router::lane_index`]), so the per-shard lane routers
+    /// provably partition by the same key as the shard router. `cross`
+    /// classifies operations that touch more than one key's partition
+    /// (scans, multi-key updates): inside a shard they take the ordered
+    /// cross-log path, and `fold` merges their per-lane responses.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, `lanes` is outside
+    /// `1..=`[`prep_uc::MAX_LOGS`], or `config` violates
+    /// `ε ≤ LOG_SIZE − β − 1` with `β = assignment.workers()`.
+    #[allow(clippy::too_many_arguments)] // the three closures are the API
+    pub fn new_multilog(
+        obj: T,
+        shards: usize,
+        lanes: usize,
+        assignment: ThreadAssignment,
+        config: PrepConfig,
+        key_fn: impl Fn(&T::Op) -> u64 + Send + Sync + 'static,
+        cross: impl Fn(&T::Op) -> bool + Send + Sync + 'static,
+        fold: impl Fn(&T::Op, Vec<T::Resp>) -> T::Resp + Send + Sync + 'static,
+    ) -> Self {
+        let router = ShardRouter::new(shards, key_fn).with_lanes(lanes);
+        let objs = (0..shards).map(|_| obj.clone_object()).collect();
+        Self::build_multilog(
+            objs,
+            router,
+            assignment,
+            config,
+            Arc::new(cross),
+            Arc::new(fold),
+            0,
+        )
     }
 
     /// Like [`ShardedStore::new`], but gives every shard its **own**
@@ -112,12 +204,12 @@ impl<T: SequentialObject> ShardedStore<T> {
     ) -> Self {
         let router = ShardRouter::new(shards, key_fn);
         let latency = *config.runtime.latency();
-        let shard_instances: Vec<PrepUc<T>> = (0..shards)
+        let shard_instances: Vec<Backend<T>> = (0..shards)
             .map(|_| {
                 let cfg = config
                     .clone()
                     .with_runtime(PmemRuntime::for_benchmarks(latency));
-                PrepUc::new(obj.clone_object(), assignment.clone(), cfg)
+                Backend::Single(PrepUc::new(obj.clone_object(), assignment.clone(), cfg))
             })
             .collect();
         ShardedStore {
@@ -138,17 +230,85 @@ impl<T: SequentialObject> ShardedStore<T> {
         config: PrepConfig,
         epoch: u64,
     ) -> Self {
-        let shards = objs.len();
-        assert!(shards > 0, "a sharded store needs at least one shard");
         let runtime = Arc::clone(&config.runtime);
-        let shard_instances: Vec<PrepUc<T>> = objs
+        let shard_instances: Vec<Backend<T>> = objs
             .into_iter()
-            .map(|obj| PrepUc::new(obj, assignment.clone(), config.clone()))
+            .map(|obj| Backend::Single(PrepUc::new(obj, assignment.clone(), config.clone())))
             .collect();
+        Self::assemble(shard_instances, router, assignment, runtime, epoch)
+    }
+
+    /// Shared-runtime construction path for `new_multilog` and
+    /// `recover_multilog`. `lane_states` is `None` for a fresh store
+    /// (every lane clones its shard's object) or per-shard recovered lane
+    /// states.
+    #[allow(clippy::too_many_arguments)] // internal plumbing
+    fn build_multilog(
+        objs: Vec<T>,
+        router: ShardRouter<T::Op>,
+        assignment: ThreadAssignment,
+        config: PrepConfig,
+        cross: CrossFn<T>,
+        fold: FoldFn<T>,
+        epoch: u64,
+    ) -> Self {
+        let shards = objs.len();
+        let lanes = router.lanes();
+        let max_workers = assignment.workers();
+        let runtime = Arc::clone(&config.runtime);
+        let shard_instances: Vec<Backend<T>> = objs
+            .into_iter()
+            .map(|obj| {
+                Backend::Multi(MultiLogUc::new(
+                    obj,
+                    Self::lane_router(&router, &cross, &fold, shards),
+                    lanes,
+                    max_workers,
+                    config.clone(),
+                ))
+            })
+            .collect();
+        Self::assemble(shard_instances, router, assignment, runtime, epoch)
+    }
+
+    /// The per-shard lane router: same key function, same hash, next
+    /// mixed-radix digit (see [`crate::router`] docs).
+    fn lane_router(
+        router: &ShardRouter<T::Op>,
+        cross: &CrossFn<T>,
+        fold: &FoldFn<T>,
+        shards: usize,
+    ) -> LaneRouter<T> {
+        let key_fn = router.key_fn();
+        let cross = Arc::clone(cross);
+        let fold = Arc::clone(fold);
+        LaneRouter::new(
+            move |op, lanes| {
+                if cross(op) {
+                    None
+                } else {
+                    Some(lane_index(key_fn(op), shards, lanes))
+                }
+            },
+            move |op, resps| fold(op, resps),
+        )
+    }
+
+    /// Persists the layout roots and assembles the store.
+    fn assemble(
+        shard_instances: Vec<Backend<T>>,
+        router: ShardRouter<T::Op>,
+        assignment: ThreadAssignment,
+        runtime: Arc<PmemRuntime>,
+        epoch: u64,
+    ) -> Self {
+        let shards = shard_instances.len();
+        assert!(shards > 0, "a sharded store needs at least one shard");
         // Persist the metadata roots recovery will validate. One fence
         // after the batch: the roots are written once per store lifetime.
         let directory = Arc::new(PersistentDirectory::new());
         directory.persist_clflush(&runtime, ROOT_SHARDS, shards as u64);
+        directory.persist_clflush(&runtime, ROOT_LANES, router.lanes() as u64);
         directory.persist_clflush(&runtime, ROOT_EPOCH, epoch);
         for s in 0..shards {
             let ns = format!("prep-shard/shard/{s}");
@@ -170,33 +330,45 @@ impl<T: SequentialObject> ShardedStore<T> {
     pub fn register(&self, worker: usize) -> ShardToken {
         ShardToken {
             worker,
-            tokens: self.shards.iter().map(|s| s.register(worker)).collect(),
+            tokens: self
+                .shards
+                .iter()
+                .map(|s| match s {
+                    Backend::Single(uc) => TokenKind::Single(uc.register(worker)),
+                    Backend::Multi(uc) => TokenKind::Multi(uc.register(worker)),
+                })
+                .collect(),
         }
     }
 
     /// Executes `op` on the shard its routing key selects, with that
-    /// shard's full PREP-UC durability guarantee.
+    /// shard's full PREP-UC durability guarantee. On a multi-log shard the
+    /// op continues to its lane (same hash, next digit) or — if classified
+    /// cross-log — through the ordered cross-log path.
     pub fn execute(&self, token: &ShardToken, op: T::Op) -> T::Resp {
         let s = self.router.shard_of(&op);
-        self.shards[s].execute(&token.tokens[s], op)
+        self.execute_on(s, token, op)
     }
 
     /// Executes `op` on **every** shard (in shard order), returning each
     /// shard's response — the broadcast path for aggregate operations that
     /// have no routing key (`Len`-style). The caller folds the responses;
-    /// the broadcast is not atomic across shards.
+    /// the broadcast is not atomic across shards (within a multi-log
+    /// shard, a cross-log op *is* atomic across that shard's logs).
     pub fn execute_all(&self, token: &ShardToken, op: T::Op) -> Vec<T::Resp> {
-        self.shards
-            .iter()
-            .zip(&token.tokens)
-            .map(|(shard, t)| shard.execute(t, op.clone()))
+        (0..self.shards.len())
+            .map(|s| self.execute_on(s, token, op.clone()))
             .collect()
     }
 
-    /// Executes `op` on a specific shard, bypassing the router
-    /// (diagnostics and tests).
+    /// Executes `op` on a specific shard, bypassing the shard router
+    /// (diagnostics, tests, and the broadcast path).
     pub fn execute_on(&self, shard: usize, token: &ShardToken, op: T::Op) -> T::Resp {
-        self.shards[shard].execute(&token.tokens[shard], op)
+        match (&self.shards[shard], &token.tokens[shard]) {
+            (Backend::Single(uc), TokenKind::Single(t)) => uc.execute(t, op),
+            (Backend::Multi(uc), TokenKind::Multi(t)) => uc.execute(t, op),
+            _ => unreachable!("shard token kind mismatch: token from another store"),
+        }
     }
 
     /// The shard `op` routes to.
@@ -209,9 +381,33 @@ impl<T: SequentialObject> ShardedStore<T> {
         self.shards.len()
     }
 
-    /// Direct access to one shard's PREP-UC (diagnostics and tests).
+    /// Logs per shard (1 for single-log stores).
+    pub fn lanes(&self) -> usize {
+        self.router.lanes()
+    }
+
+    /// Direct access to one shard's single-log PREP-UC (diagnostics and
+    /// tests).
+    ///
+    /// # Panics
+    /// Panics on a multi-log store; use [`ShardedStore::multilog_shard`].
     pub fn shard(&self, shard: usize) -> &PrepUc<T> {
-        &self.shards[shard]
+        match &self.shards[shard] {
+            Backend::Single(uc) => uc,
+            Backend::Multi(_) => panic!("shard {shard} is multi-log; use multilog_shard"),
+        }
+    }
+
+    /// Direct access to one shard's multi-log construction (diagnostics
+    /// and tests).
+    ///
+    /// # Panics
+    /// Panics on a single-log store; use [`ShardedStore::shard`].
+    pub fn multilog_shard(&self, shard: usize) -> &MultiLogUc<T> {
+        match &self.shards[shard] {
+            Backend::Multi(uc) => uc,
+            Backend::Single(_) => panic!("shard {shard} is single-log; use shard"),
+        }
     }
 
     /// The router in use.
@@ -236,34 +432,68 @@ impl<T: SequentialObject> ShardedStore<T> {
     }
 
     /// Worst-case completed-update loss for a single crash across the
-    /// whole store: the sum of every shard's bound — `N·(ε + β − 1)` in
-    /// buffered mode, 0 in durable mode.
+    /// whole store: the sum of every shard's bound — `N·(ε + β − 1)` for
+    /// single-log shards, `N·L·(ε + β − 1)` for multi-log shards, 0 in
+    /// durable mode.
     pub fn loss_bound(&self) -> u64 {
-        self.shards.iter().map(|s| s.loss_bound()).sum()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.loss_bound(),
+                Backend::Multi(uc) => uc.loss_bound(),
+            })
+            .sum()
     }
 
     /// Per-shard persistence-counter snapshots. Meaningful attribution
     /// requires [`ShardedStore::with_per_shard_runtimes`]; in shared-
     /// runtime mode every entry reads the same global counters.
     pub fn stats_per_shard(&self) -> Vec<PmemStatsSnapshot> {
-        self.shards.iter().map(|s| s.stats()).collect()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.stats(),
+                Backend::Multi(uc) => uc.stats(),
+            })
+            .collect()
     }
 
-    /// Every shard's `completedTail` (total completed updates per shard).
+    /// Every shard's total completed updates (summed over a multi-log
+    /// shard's logs).
     pub fn completed_tails(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.completed_tail()).collect()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.completed_tail(),
+                Backend::Multi(uc) => uc.completed_vector().iter().sum(),
+            })
+            .collect()
     }
 
     /// Read-only operations that missed the zero-contention read fast path,
-    /// summed over every shard's replicas (see [`PrepUc::read_slow_paths`]).
+    /// summed over every shard's replicas (see [`PrepUc::read_slow_paths`];
+    /// multi-log shards' trylock read path has no such counter and
+    /// contributes 0).
     pub fn read_slow_paths(&self) -> u64 {
-        self.shards.iter().map(|s| s.read_slow_paths()).sum()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.read_slow_paths(),
+                Backend::Multi(_) => 0,
+            })
+            .sum()
     }
 
     /// Validated optimistic (lock-free) fast-path reads, summed over every
     /// shard's replicas (see [`PrepUc::read_fast_optimistic`]).
     pub fn read_fast_optimistic(&self) -> u64 {
-        self.shards.iter().map(|s| s.read_fast_optimistic()).sum()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.read_fast_optimistic(),
+                Backend::Multi(_) => 0,
+            })
+            .sum()
     }
 
     /// Optimistic reads that failed seqlock validation, summed over every
@@ -271,7 +501,10 @@ impl<T: SequentialObject> ShardedStore<T> {
     pub fn read_validation_failures(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.read_validation_failures())
+            .map(|s| match s {
+                Backend::Single(uc) => uc.read_validation_failures(),
+                Backend::Multi(_) => 0,
+            })
             .sum()
     }
 
@@ -280,34 +513,48 @@ impl<T: SequentialObject> ShardedStore<T> {
         self.shared_runtime.as_ref()
     }
 
-    /// Every shard's crash-survivability watermark (see
-    /// [`PrepUc::durable_watermark`]).
+    /// Every shard's crash-survivability watermark (summed over a
+    /// multi-log shard's logs, mirroring [`ShardedStore::completed_tails`]).
     pub fn durable_watermarks(&self) -> Vec<u64> {
-        self.shards.iter().map(|s| s.durable_watermark()).collect()
+        self.shards
+            .iter()
+            .map(|s| match s {
+                Backend::Single(uc) => uc.durable_watermark(),
+                Backend::Multi(uc) => (0..uc.lanes()).map(|l| uc.durable_watermark(l)).sum(),
+            })
+            .collect()
     }
 
     /// Asks every shard's persistence thread to checkpoint now instead of
     /// waiting out its ε window (see [`PrepUc::nudge_checkpoint`]).
     pub fn nudge_checkpoints(&self) {
         for s in &self.shards {
-            s.nudge_checkpoint();
+            match s {
+                Backend::Single(uc) => uc.nudge_checkpoint(),
+                Backend::Multi(uc) => uc.nudge_checkpoint(),
+            }
         }
     }
 
     /// Blocks until every shard's watermark covers its `completedTail` —
-    /// after this, a crash loses nothing that had completed before the
-    /// call. Intended for drain/shutdown paths; see
-    /// [`PrepUc::quiesce_persistence`] for semantics under concurrent
-    /// writers.
+    /// per log, for multi-log shards — after which a crash loses nothing
+    /// that had completed before the call. Intended for drain/shutdown
+    /// paths; see [`PrepUc::quiesce_persistence`] for semantics under
+    /// concurrent writers.
     pub fn quiesce_persistence(&self) {
         for s in &self.shards {
-            s.quiesce_persistence();
+            match s {
+                Backend::Single(uc) => uc.quiesce_persistence(),
+                Backend::Multi(uc) => uc.quiesce_persistence(),
+            }
         }
     }
 
     /// One consolidated snapshot of every shard's observable state — the
     /// single source for serve's ADMIN verb and `prep-bench`'s per-shard
-    /// lanes (both used to hand-roll this zip).
+    /// lanes. Multi-log shards report per-log completed tails, watermarks,
+    /// and combine-round counters; single-log shards report empty lane
+    /// vectors.
     pub fn metrics(&self) -> StoreMetrics {
         StoreMetrics {
             epoch: self.epoch,
@@ -317,14 +564,38 @@ impl<T: SequentialObject> ShardedStore<T> {
                 .shards
                 .iter()
                 .enumerate()
-                .map(|(i, s)| ShardMetrics {
-                    shard: i,
-                    completed_tail: s.completed_tail(),
-                    durable_watermark: s.durable_watermark(),
-                    read_slow_paths: s.read_slow_paths(),
-                    read_fast_optimistic: s.read_fast_optimistic(),
-                    read_validation_failures: s.read_validation_failures(),
-                    stats: s.stats(),
+                .map(|(i, s)| match s {
+                    Backend::Single(uc) => ShardMetrics {
+                        shard: i,
+                        completed_tail: uc.completed_tail(),
+                        durable_watermark: uc.durable_watermark(),
+                        read_slow_paths: uc.read_slow_paths(),
+                        read_fast_optimistic: uc.read_fast_optimistic(),
+                        read_validation_failures: uc.read_validation_failures(),
+                        lane_completed_tails: Vec::new(),
+                        lane_durable_watermarks: Vec::new(),
+                        lane_combine_rounds: Vec::new(),
+                        stats: uc.stats(),
+                    },
+                    Backend::Multi(uc) => {
+                        let tails = uc.completed_vector();
+                        let wms: Vec<u64> =
+                            (0..uc.lanes()).map(|l| uc.durable_watermark(l)).collect();
+                        ShardMetrics {
+                            shard: i,
+                            completed_tail: tails.iter().sum(),
+                            durable_watermark: wms.iter().sum(),
+                            read_slow_paths: 0,
+                            read_fast_optimistic: 0,
+                            read_validation_failures: 0,
+                            lane_combine_rounds: (0..uc.lanes())
+                                .map(|l| uc.combine_rounds(l))
+                                .collect(),
+                            lane_completed_tails: tails,
+                            lane_durable_watermarks: wms,
+                            stats: uc.stats(),
+                        }
+                    }
                 })
                 .collect(),
         }
@@ -332,8 +603,9 @@ impl<T: SequentialObject> ShardedStore<T> {
 
     /// Simulates a full-system power failure: one consistent cut frozen
     /// across the metadata directory and **all** shards' NVM images
-    /// simultaneously. No shard-by-shard skew is possible — this is the
-    /// orchestrator's reason to exist.
+    /// simultaneously — for multi-log shards, all logs' images inside the
+    /// same cut vector. No shard-by-shard (or log-by-log) skew is possible
+    /// — this is the orchestrator's reason to exist.
     ///
     /// # Panics
     /// Panics in per-shard-runtime mode, or if the shared runtime was not
@@ -345,12 +617,40 @@ impl<T: SequentialObject> ShardedStore<T> {
             .expect("simulate_crash requires a shared runtime (ShardedStore::new)");
         runtime.capture_cut(|| ShardedCrashImage {
             directory: self.directory.snapshot_for_recovery(runtime),
-            shards: self.shards.iter().map(|s| s.crash_image_in_cut()).collect(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| match s {
+                    Backend::Single(uc) => ShardImage::Single(uc.crash_image_in_cut()),
+                    Backend::Multi(uc) => ShardImage::Multi(uc.crash_image_in_cut()),
+                })
+                .collect(),
         })
     }
 
-    /// The cross-shard recovery procedure: rebuilds every shard from one
-    /// [`ShardedCrashImage`].
+    /// Validates a crash image's persisted layout against its captured
+    /// shard images, returning (shards, lanes, next epoch).
+    fn validate_layout(image: &ShardedCrashImage<T>) -> (usize, usize, u64) {
+        let persisted = image
+            .persisted_shards()
+            .expect("crash image has no persisted shard count: not a prep-shard pool");
+        assert_eq!(
+            persisted as usize,
+            image.shards.len(),
+            "persisted shard count {} disagrees with {} captured shard images: \
+             refusing to recover an inconsistent layout",
+            persisted,
+            image.shards.len()
+        );
+        (
+            persisted as usize,
+            image.persisted_lanes() as usize,
+            image.epoch() + 1,
+        )
+    }
+
+    /// The cross-shard recovery procedure for single-log stores: rebuilds
+    /// every shard from one [`ShardedCrashImage`].
     ///
     /// 1. Validate the persisted layout: the directory's shard count must
     ///    exist and match the number of captured shard images (a mismatch
@@ -365,7 +665,9 @@ impl<T: SequentialObject> ShardedStore<T> {
     /// history.
     ///
     /// # Panics
-    /// Panics if the image's persisted layout is missing or inconsistent.
+    /// Panics if the image's persisted layout is missing or inconsistent,
+    /// or the image came from a multi-log store (use
+    /// [`ShardedStore::recover_multilog`]).
     pub fn recover(
         token: CrashToken,
         image: ShardedCrashImage<T>,
@@ -373,45 +675,82 @@ impl<T: SequentialObject> ShardedStore<T> {
         config: PrepConfig,
         key_fn: impl Fn(&T::Op) -> u64 + Send + Sync + 'static,
     ) -> Self {
-        let persisted = image
-            .persisted_shards()
-            .expect("crash image has no persisted shard count: not a prep-shard pool");
+        let (persisted, lanes, epoch) = Self::validate_layout(&image);
         assert_eq!(
-            persisted as usize,
-            image.shards.len(),
-            "persisted shard count {} disagrees with {} captured shard images: \
-             refusing to recover an inconsistent layout",
-            persisted,
-            image.shards.len()
+            lanes, 1,
+            "crash image is from a {lanes}-log store: use recover_multilog"
         );
-        let epoch = image.epoch() + 1;
-        let router = ShardRouter::new(persisted as usize, key_fn);
+        let router = ShardRouter::new(persisted, key_fn);
 
         // Recover each shard's object state (stable replica + durable log
         // replay) without spawning instances yet, then build them all
         // against the shared runtime.
-        let recovered: Vec<PrepUc<T>> = image
+        let recovered: Vec<Backend<T>> = image
             .shards
             .into_iter()
-            .map(|img| PrepUc::recover(token, img, assignment.clone(), config.clone()))
+            .map(|img| match img {
+                ShardImage::Single(img) => Backend::Single(PrepUc::recover(
+                    token,
+                    img,
+                    assignment.clone(),
+                    config.clone(),
+                )),
+                ShardImage::Multi(_) => {
+                    unreachable!("lanes root said 1 but a shard image is multi-log")
+                }
+            })
             .collect();
         let runtime = Arc::clone(&config.runtime);
-        let directory = Arc::new(PersistentDirectory::new());
-        directory.persist_clflush(&runtime, ROOT_SHARDS, persisted);
-        directory.persist_clflush(&runtime, ROOT_EPOCH, epoch);
-        for s in 0..persisted {
-            let ns = format!("prep-shard/shard/{s}");
-            directory.persist_clflush(&runtime, &PersistentDirectory::scope(&ns, "root"), s);
-        }
-        runtime.sfence();
-        ShardedStore {
-            shards: recovered,
-            router: router.with_shards(persisted as usize),
-            assignment,
-            directory,
-            shared_runtime: Some(runtime),
-            epoch,
-        }
+        Self::assemble(recovered, router, assignment, runtime, epoch)
+    }
+
+    /// The cross-shard recovery procedure for multi-log stores: like
+    /// [`ShardedStore::recover`], but each shard recovers through
+    /// [`MultiLogUc::recover`] (per-log replay at the cut vector, plus the
+    /// cross-log completion pass), and the recovered router re-derives
+    /// both coordinates from the persisted `shards × lanes` geometry.
+    ///
+    /// # Panics
+    /// Panics if the image's persisted layout is missing or inconsistent,
+    /// or the image came from a single-log store (use
+    /// [`ShardedStore::recover`]).
+    #[allow(clippy::too_many_arguments)] // the three closures are the API
+    pub fn recover_multilog(
+        token: CrashToken,
+        image: ShardedCrashImage<T>,
+        assignment: ThreadAssignment,
+        config: PrepConfig,
+        key_fn: impl Fn(&T::Op) -> u64 + Send + Sync + 'static,
+        cross: impl Fn(&T::Op) -> bool + Send + Sync + 'static,
+        fold: impl Fn(&T::Op, Vec<T::Resp>) -> T::Resp + Send + Sync + 'static,
+    ) -> Self {
+        let (persisted, lanes, epoch) = Self::validate_layout(&image);
+        assert!(
+            lanes > 1,
+            "crash image is from a single-log store: use recover"
+        );
+        let router = ShardRouter::new(persisted, key_fn).with_lanes(lanes);
+        let cross: CrossFn<T> = Arc::new(cross);
+        let fold: FoldFn<T> = Arc::new(fold);
+        let max_workers = assignment.workers();
+        let recovered: Vec<Backend<T>> = image
+            .shards
+            .into_iter()
+            .map(|img| match img {
+                ShardImage::Multi(img) => Backend::Multi(MultiLogUc::recover(
+                    token,
+                    img,
+                    Self::lane_router(&router, &cross, &fold, persisted),
+                    max_workers,
+                    config.clone(),
+                )),
+                ShardImage::Single(_) => {
+                    unreachable!("lanes root said {lanes} but a shard image is single-log")
+                }
+            })
+            .collect();
+        let runtime = Arc::clone(&config.runtime);
+        Self::assemble(recovered, router, assignment, runtime, epoch)
     }
 }
 
@@ -431,13 +770,23 @@ mod tests {
     }
 
     fn map_key(op: &MapOp) -> u64 {
-        match *op {
-            MapOp::Insert { key, .. }
-            | MapOp::Remove { key }
-            | MapOp::Get { key }
-            | MapOp::Contains { key } => key,
-            MapOp::Len => 0,
-        }
+        op.key().unwrap_or(0)
+    }
+
+    fn map_cross(op: &MapOp) -> bool {
+        op.key().is_none()
+    }
+
+    fn map_fold(_op: &MapOp, resps: Vec<MapResp>) -> MapResp {
+        MapResp::Len(
+            resps
+                .into_iter()
+                .map(|r| match r {
+                    MapResp::Len(n) => n,
+                    other => panic!("cross-log fold over non-Len {other:?}"),
+                })
+                .sum(),
+        )
     }
 
     fn record_key(op: &RecorderOp) -> u64 {
@@ -445,6 +794,24 @@ mod tests {
             RecorderOp::Record(id) => id,
             RecorderOp::Count | RecorderOp::Last => 0,
         }
+    }
+
+    fn mk_multilog(
+        shards: usize,
+        lanes: usize,
+        workers: usize,
+        config: PrepConfig,
+    ) -> ShardedStore<HashMap> {
+        ShardedStore::new_multilog(
+            HashMap::new(),
+            shards,
+            lanes,
+            Topology::small().assign_workers(workers),
+            config,
+            map_key,
+            map_cross,
+            map_fold,
+        )
     }
 
     #[test]
@@ -490,6 +857,114 @@ mod tests {
         assert!(
             tails.iter().all(|&t| t > 0),
             "a shard got no traffic: {tails:?}"
+        );
+    }
+
+    #[test]
+    fn multilog_roundtrip_spreads_over_shards_and_lanes() {
+        let store = mk_multilog(2, 3, 1, cfg(DurabilityLevel::Buffered));
+        assert_eq!(store.lanes(), 3);
+        let t = store.register(0);
+        for k in 0..300u64 {
+            store.execute(&t, MapOp::Insert { key: k, value: !k });
+        }
+        for k in 0..300u64 {
+            assert_eq!(
+                store.execute(&t, MapOp::Get { key: k }),
+                MapResp::Value(Some(!k))
+            );
+        }
+        // Every log of every shard saw traffic (6 partitions, 300 keys).
+        let m = store.metrics();
+        for s in &m.shards {
+            assert_eq!(s.lane_completed_tails.len(), 3);
+            for (l, &ct) in s.lane_completed_tails.iter().enumerate() {
+                assert!(ct > 0, "shard {} log {l} got no traffic", s.shard);
+            }
+            assert_eq!(s.completed_tail, s.lane_completed_tails.iter().sum::<u64>());
+        }
+        // Cross-log aggregate per shard, broadcast over shards: one Len
+        // entry lands in every log of every shard, and the folds sum to
+        // the full count.
+        let total: usize = store
+            .execute_all(&t, MapOp::Len)
+            .into_iter()
+            .map(|r| match r {
+                MapResp::Len(n) => n,
+                other => panic!("unexpected {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn multilog_store_crash_recovers_at_the_cut_vector() {
+        for level in [DurabilityLevel::Buffered, DurabilityLevel::Durable] {
+            let config = cfg(level).with_epsilon(8);
+            let store = mk_multilog(2, 2, 1, config.clone());
+            let t = store.register(0);
+            for k in 0..150u64 {
+                store.execute(
+                    &t,
+                    MapOp::Insert {
+                        key: k,
+                        value: k + 1,
+                    },
+                );
+            }
+            let bound = store.loss_bound();
+            let (token, image) = store.simulate_crash();
+            assert_eq!(image.persisted_lanes(), 2);
+            drop(store);
+            let rec = ShardedStore::recover_multilog(
+                token,
+                image,
+                Topology::small().assign_workers(1),
+                config,
+                map_key,
+                map_cross,
+                map_fold,
+            );
+            assert_eq!(rec.epoch(), 1);
+            let t = rec.register(0);
+            let mut lost = 0u64;
+            for k in 0..150u64 {
+                match rec.execute(&t, MapOp::Get { key: k }) {
+                    MapResp::Value(Some(v)) => assert_eq!(v, k + 1),
+                    MapResp::Value(None) => lost += 1,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            match level {
+                DurabilityLevel::Durable => assert_eq!(lost, 0, "durable multilog lost ops"),
+                DurabilityLevel::Buffered => assert!(
+                    lost <= bound,
+                    "buffered multilog lost {lost} > N·L·(ε+β−1) = {bound}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn multilog_loss_bound_composes_over_shards_and_lanes() {
+        let store = mk_multilog(2, 4, 3, cfg(DurabilityLevel::Buffered).with_epsilon(10));
+        // N=2 shards × L=4 logs × (ε + β − 1) with β = 3 workers.
+        assert_eq!(store.loss_bound(), 2 * 4 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "use recover_multilog")]
+    fn single_log_recovery_rejects_multilog_images() {
+        let config = cfg(DurabilityLevel::Buffered);
+        let store = mk_multilog(2, 2, 1, config.clone());
+        let (token, image) = store.simulate_crash();
+        drop(store);
+        let _ = ShardedStore::recover(
+            token,
+            image,
+            Topology::small().assign_workers(1),
+            config,
+            map_key,
         );
     }
 
@@ -650,10 +1125,12 @@ mod tests {
         let config = cfg(DurabilityLevel::Buffered);
         let store = ShardedStore::new(Recorder::new(), 2, asg.clone(), config.clone(), record_key);
         assert_eq!(store.directory().read(ROOT_SHARDS), Some(2));
+        assert_eq!(store.directory().read(ROOT_LANES), Some(1));
         assert_eq!(store.directory().read(ROOT_EPOCH), Some(0));
         assert_eq!(store.directory().read("prep-shard/shard/1/root"), Some(1));
         let (token, image) = store.simulate_crash();
         assert_eq!(image.persisted_shards(), Some(2));
+        assert_eq!(image.persisted_lanes(), 1);
         assert_eq!(image.epoch(), 0);
         drop(store);
         let rec = ShardedStore::recover(token, image, asg.clone(), config.clone(), record_key);
@@ -743,6 +1220,26 @@ mod tests {
                 rec.execute(&t, MapOp::Get { key: k }),
                 MapResp::Value(Some(k)),
                 "key {k} lost despite a quiesced (clean) shutdown"
+            );
+        }
+    }
+
+    #[test]
+    fn multilog_quiesce_covers_every_lane_and_metrics_show_combiners() {
+        let store = mk_multilog(2, 2, 1, cfg(DurabilityLevel::Buffered).with_epsilon(64));
+        let t = store.register(0);
+        for k in 0..80u64 {
+            store.execute(&t, MapOp::Insert { key: k, value: k });
+        }
+        store.quiesce_persistence();
+        let m = store.metrics();
+        for s in &m.shards {
+            assert_eq!(s.lane_durable_watermarks, s.lane_completed_tails);
+            assert!(
+                s.lane_combine_rounds.iter().all(|&c| c > 0),
+                "shard {}: a lane's combiner never ran: {:?}",
+                s.shard,
+                s.lane_combine_rounds
             );
         }
     }

@@ -1,0 +1,234 @@
+//! Property-based crash testing for the multi-log construction
+//! (persistent CNR): proptest drives (ε, log count, op count, crash
+//! schedule) through deterministic single-worker executions where the
+//! multi-log durability conditions can be asserted exactly:
+//!
+//! * each log recovers a **prefix of its own** linearization order
+//!   (per-log prefix closure — no splicing, no holes);
+//! * composed loss over `c` crashes is at most `c · L · (ε + β − 1)`;
+//! * in durable mode, acknowledged operations are **never** lost, in any
+//!   log;
+//! * a cross-log operation is atomic across the cut: after recovery every
+//!   log agrees on its effect (all-or-nothing, never a strict subset).
+
+#![allow(clippy::int_plus_one)] // keep the paper's ε + β − 1 formulas verbatim
+
+use proptest::prelude::*;
+
+use prep_seqds::hashmap::{HashMap, MapOp, MapResp};
+use prep_seqds::recorder::{assert_prefix, Recorder, RecorderOp, RecorderResp};
+use prep_seqds::SequentialObject;
+use prep_uc::{mix64, DurabilityLevel, LaneRouter, MultiLogUc, PmemRuntime, PrepConfig};
+
+fn cfg(level: DurabilityLevel, eps: u64, log: u64) -> PrepConfig {
+    PrepConfig::new(level)
+        .with_log_size(log)
+        .with_epsilon(eps)
+        .with_runtime(PmemRuntime::for_crash_tests())
+}
+
+/// The recorder router: `Record(id)` partitions by id, reads are
+/// cross-log (folded by summing counts — only used incidentally here).
+fn recorder_router() -> LaneRouter<Recorder> {
+    LaneRouter::by_key(
+        |op: &RecorderOp| match *op {
+            RecorderOp::Record(id) => Some(id),
+            RecorderOp::Count | RecorderOp::Last => None,
+        },
+        |_, resps| {
+            let total = resps
+                .iter()
+                .map(|r| match r {
+                    RecorderResp::Count(n) => *n,
+                    _ => 0,
+                })
+                .sum();
+            RecorderResp::Count(total)
+        },
+    )
+}
+
+/// The lane `Record(id)` routes to, mirroring [`LaneRouter::by_key`].
+fn lane_of(id: u64, lanes: usize) -> usize {
+    (mix64(id) % lanes as u64) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Durable mode: every acknowledged op is recovered, in every log,
+    /// in order — exact equality, no loss, for arbitrary (ε, L, n).
+    #[test]
+    fn durable_acks_are_never_lost(
+        eps in 1u64..32,
+        lanes in 2usize..5,
+        n in 1u64..300,
+    ) {
+        let log = 256u64;
+        let uc = MultiLogUc::new(
+            Recorder::new(),
+            recorder_router(),
+            lanes,
+            1,
+            cfg(DurabilityLevel::Durable, eps, log),
+        );
+        let t = uc.register(0);
+        let mut issued: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+        for i in 0..n {
+            uc.execute(&t, RecorderOp::Record(i)); // returning = acknowledged
+            issued[lane_of(i, lanes)].push(i);
+        }
+        let (token, image) = uc.simulate_crash();
+        drop(uc);
+        let rec = MultiLogUc::recover(
+            token,
+            image,
+            recorder_router(),
+            1,
+            cfg(DurabilityLevel::Durable, eps, log),
+        );
+        for (l, expect) in issued.iter().enumerate() {
+            let hist = rec.with_lane(l, |r| r.history().to_vec());
+            prop_assert_eq!(
+                &hist, expect,
+                "log {} lost or reordered acknowledged ops", l
+            );
+        }
+    }
+
+    /// Buffered mode under repeated crashes: each log's recovered history
+    /// stays a prefix of that log's issued order (prefix closure), each
+    /// crash loses at most L·(ε + β − 1) in total, and the composed loss
+    /// over c crashes is at most c·L·(ε + β − 1).
+    #[test]
+    fn buffered_per_log_prefix_and_composed_bound(
+        eps in 1u64..24,
+        lanes in 2usize..5,
+        epochs in 1usize..4,
+        per_epoch in 1u64..100,
+    ) {
+        let log = 256u64;
+        let mut uc = MultiLogUc::new(
+            Recorder::new(),
+            recorder_router(),
+            lanes,
+            1,
+            cfg(DurabilityLevel::Buffered, eps, log),
+        );
+        // β = 1, so the per-log bound is ε and the composed bound L·ε.
+        prop_assert_eq!(uc.loss_bound(), lanes as u64 * eps);
+        let mut issued = 0u64;
+        // As in the single-log multi-crash property: ops lost at crash k
+        // never reappear, so each epoch's per-log reference is the prior
+        // recovery's history extended by this epoch's ids for that log.
+        let mut base: Vec<Vec<u64>> = vec![Vec::new(); lanes];
+        let mut total_kept = 0usize;
+        for _ in 0..epochs {
+            let t = uc.register(0);
+            let mut reference = base.clone();
+            for _ in 0..per_epoch {
+                uc.execute(&t, RecorderOp::Record(issued));
+                reference[lane_of(issued, lanes)].push(issued);
+                issued += 1;
+            }
+            let (token, image) = uc.simulate_crash();
+            drop(uc);
+            uc = MultiLogUc::recover(
+                token,
+                image,
+                recorder_router(),
+                1,
+                cfg(DurabilityLevel::Buffered, eps, log),
+            );
+            let mut epoch_lost = 0u64;
+            total_kept = 0;
+            for (l, lane_ref) in reference.iter().enumerate() {
+                let hist = uc.with_lane(l, |r| r.history().to_vec());
+                // Per-log prefix closure (panics inside on a non-prefix).
+                let kept = assert_prefix(&hist, lane_ref);
+                // Recovery never loses what an earlier recovery preserved.
+                prop_assert!(kept >= base[l].len(), "log {} regressed", l);
+                epoch_lost += (lane_ref.len() - kept) as u64;
+                total_kept += kept;
+                base[l] = hist;
+            }
+            prop_assert!(
+                epoch_lost <= lanes as u64 * eps,
+                "one crash lost {} > L*eps = {}", epoch_lost, lanes as u64 * eps
+            );
+        }
+        let total_lost = issued - total_kept as u64;
+        prop_assert!(
+            total_lost <= epochs as u64 * lanes as u64 * eps,
+            "lost {} over {} crashes with L {} eps {}", total_lost, epochs, lanes, eps
+        );
+    }
+
+    /// Cross-log atomicity across the cut: a broadcast (multi) write is
+    /// recovered in every log or in none — after recovery all logs agree
+    /// on the sentinel key's value, in both durability levels, and that
+    /// value is one actually written (no invented or spliced state).
+    #[test]
+    fn cross_log_ops_are_atomic_across_the_cut(
+        durable in any::<bool>(),
+        eps in 1u64..24,
+        lanes in 2usize..5,
+        n in 1u64..120,
+        stride in 2u64..7,
+    ) {
+        let level = if durable {
+            DurabilityLevel::Durable
+        } else {
+            DurabilityLevel::Buffered
+        };
+        // Sentinel key u64::MAX is declared cross-log: writing it goes
+        // through the ordered multi path and lands in every log's map.
+        let mk_router = || {
+            LaneRouter::<HashMap>::new(
+                |op: &MapOp, lanes| match op.key() {
+                    Some(u64::MAX) | None => None,
+                    Some(k) => Some((mix64(k) % lanes as u64) as usize),
+                },
+                |_, mut resps| resps.pop().expect("at least one lane"),
+            )
+        };
+        let uc = MultiLogUc::new(HashMap::new(), mk_router(), lanes, 1, cfg(level, eps, 256));
+        let t = uc.register(0);
+        let mut versions: Vec<u64> = Vec::new();
+        for i in 0..n {
+            uc.execute(&t, MapOp::Insert { key: i, value: i });
+            if i % stride == stride - 1 {
+                uc.execute(&t, MapOp::Insert { key: u64::MAX, value: i });
+                versions.push(i);
+            }
+        }
+        let (token, image) = uc.simulate_crash();
+        drop(uc);
+        let rec = MultiLogUc::recover(token, image, mk_router(), 1, cfg(level, eps, 256));
+        let sentinel: Vec<Option<u64>> = (0..lanes)
+            .map(|l| {
+                rec.with_lane(l, |m| match m.apply_readonly(&MapOp::Get { key: u64::MAX }) {
+                    MapResp::Value(v) => v,
+                    other => panic!("unexpected {other:?}"),
+                })
+            })
+            .collect();
+        for (l, v) in sentinel.iter().enumerate() {
+            prop_assert_eq!(
+                *v, sentinel[0],
+                "log {} disagrees on the cross-log write: {:?}", l, sentinel
+            );
+        }
+        match sentinel[0] {
+            None => {} // every broadcast was cut away — still atomic
+            Some(v) => prop_assert!(
+                versions.contains(&v),
+                "recovered sentinel {} was never written ({:?})", v, versions
+            ),
+        }
+        if level == DurabilityLevel::Durable {
+            // Durable: the *latest* broadcast must have survived.
+            prop_assert_eq!(sentinel[0], versions.last().copied());
+        }
+    }
+}
