@@ -191,6 +191,41 @@ pub struct ForbiddenEntry {
     pub include_tests: bool,
 }
 
+/// Lock-order (static hierarchy / deadlock) configuration.
+#[derive(Debug, Clone)]
+pub struct LockOrderConfig {
+    pub scope: RuleScope,
+    /// Methods that acquire a lock when called on a lock-classed
+    /// receiver (`lock`, `try_lock`, `read`, `write`, …). Recognition is
+    /// receiver-type-driven: a bare `stream.write(buf)` never counts.
+    pub acquire_methods: Vec<String>,
+    /// Type-level rank fallbacks (`TypeName = level`) mirroring the
+    /// `// lock-level: <n> <why>` declarations in source; a source
+    /// comment on the type, field, or acquire site always wins.
+    pub ranks: Vec<(String, u32)>,
+}
+
+/// Flush-before-publish (persist-path dataflow) configuration. The four
+/// effect classes mirror `PmemRuntime`'s primitive semantics.
+#[derive(Debug, Clone)]
+pub struct FlushPublishConfig {
+    pub scope: RuleScope,
+    /// Calls that dirty NVM state (plain stores the runtime traces).
+    pub stores: Vec<String>,
+    /// Calls that enqueue a writeback (async: still need a fence).
+    pub flushes: Vec<String>,
+    /// Store-buffer drains: flushed state becomes durable.
+    pub fences: Vec<String>,
+    /// Serializing whole-cache writebacks (`wbinvd`): everything durable.
+    pub full_persists: Vec<String>,
+    /// Fused store+sync-flush primitives: no effect on *surrounding*
+    /// dirty state.
+    pub neutral: Vec<String>,
+    /// Calls that are publish sites by themselves (their dependencies
+    /// must already be durable), in addition to `// publishes:` markers.
+    pub publishes: Vec<String>,
+}
+
 /// Full lint configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -207,6 +242,8 @@ pub struct Config {
     pub persist_hooks: Vec<String>,
     pub unsafety: RuleScope,
     pub forbidden: Vec<ForbiddenEntry>,
+    pub lock_order: LockOrderConfig,
+    pub flush_publish: FlushPublishConfig,
 }
 
 impl Default for Config {
@@ -261,6 +298,56 @@ impl Default for Config {
             unsafety: RuleScope {
                 paths: vec!["crates".into()],
                 allow: vec![],
+            },
+            // The lock hierarchy mirrors the PR 9 multilog protocol:
+            // cross-log gate (0) → lane combiner locks (1) → replica
+            // locks (2) → combiner batch-slot flags (3). Field and site
+            // `// lock-level:` comments refine these type defaults.
+            lock_order: LockOrderConfig {
+                scope: RuleScope {
+                    paths: hot(&["nr", "sync", "core", "cx", "shard", "serve"]),
+                    allow: vec![],
+                },
+                acquire_methods: [
+                    "lock",
+                    "try_lock",
+                    "read",
+                    "write",
+                    "try_read",
+                    "try_write",
+                    "with_read",
+                    "with_write",
+                ]
+                .map(String::from)
+                .to_vec(),
+                ranks: vec![
+                    ("TicketLock".into(), 0),
+                    ("TryLock".into(), 1),
+                    ("ReplicaLock".into(), 2),
+                    ("DistRwLock".into(), 2),
+                    ("RwSpinLock".into(), 2),
+                    ("PhaseFairRwLock".into(), 2),
+                    ("StrongTryRwLock".into(), 2),
+                ],
+            },
+            // psan rule 1 at lint time: on every path from an NVM store
+            // to a publish site there is a flush of the span and an
+            // sfence. Effect classes match PmemRuntime's contracts.
+            flush_publish: FlushPublishConfig {
+                scope: RuleScope {
+                    paths: hot(&["nr", "core", "shard", "cx"]),
+                    allow: vec![],
+                },
+                stores: ["nvm_write", "trace_store"].map(String::from).to_vec(),
+                flushes: ["flush_range", "clflushopt_at", "clflushopt", "clflush"]
+                    .map(String::from)
+                    .to_vec(),
+                fences: ["sfence"].map(String::from).to_vec(),
+                full_persists: ["wbinvd"].map(String::from).to_vec(),
+                neutral: ["persist_clflush_at", "trace_recovery_read"]
+                    .map(String::from)
+                    .to_vec(),
+                publishes: ["publish_clflush"].map(String::from).to_vec(),
             },
             forbidden: vec![
                 ForbiddenEntry {
@@ -398,6 +485,53 @@ impl Config {
         }
         if let Some(v) = list(&kv, "persist-hook", "hooks") {
             cfg.persist_hooks = v;
+        }
+        if let Some(v) = list(&kv, "lock-order", "paths") {
+            cfg.lock_order.scope.paths = v;
+        }
+        if let Some(v) = list(&kv, "lock-order", "allow") {
+            cfg.lock_order.scope.allow = v;
+        }
+        if let Some(v) = list(&kv, "lock-order", "acquire-methods") {
+            cfg.lock_order.acquire_methods = v;
+        }
+        if let Some(v) = list(&kv, "lock-order", "ranks") {
+            let mut ranks = Vec::new();
+            for item in &v {
+                let (ty, n) = item
+                    .split_once('=')
+                    .ok_or_else(|| format!("[lock-order] rank `{item}`: expected `Type = n`"))?;
+                let n: u32 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("[lock-order] rank `{item}`: level must be an integer"))?;
+                ranks.push((ty.trim().to_string(), n));
+            }
+            cfg.lock_order.ranks = ranks;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "paths") {
+            cfg.flush_publish.scope.paths = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "allow") {
+            cfg.flush_publish.scope.allow = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "stores") {
+            cfg.flush_publish.stores = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "flushes") {
+            cfg.flush_publish.flushes = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "fences") {
+            cfg.flush_publish.fences = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "full-persists") {
+            cfg.flush_publish.full_persists = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "neutral") {
+            cfg.flush_publish.neutral = v;
+        }
+        if let Some(v) = list(&kv, "flush-publish", "publishes") {
+            cfg.flush_publish.publishes = v;
         }
         // Forbidden entries: any `[forbidden.<name>]` section replaces the
         // default entry of that name (or adds a new one).

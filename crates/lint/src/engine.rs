@@ -30,6 +30,8 @@ struct Allow {
     rules: Vec<String>,
     /// Whether a non-empty reason follows the closing `):`.
     has_reason: bool,
+    /// The reason text itself (recorded on suppressed findings).
+    reason: String,
 }
 
 /// Extracts every `lint:allow(...)` from a file's comments.
@@ -51,6 +53,7 @@ fn collect_allows(model: &FileModel<'_>) -> Vec<Allow> {
                 col: c.col,
                 rules: vec![],
                 has_reason: false,
+                reason: String::new(),
             });
             continue;
         };
@@ -60,25 +63,28 @@ fn collect_allows(model: &FileModel<'_>) -> Vec<Allow> {
             .filter(|s| !s.is_empty())
             .collect();
         let rest = after[close + 1..].trim_start();
-        let has_reason = rest
+        let reason = rest
             .strip_prefix(':')
-            .map(|r| !r.trim().is_empty())
-            .unwrap_or(false);
+            .map(|r| r.trim().to_string())
+            .unwrap_or_default();
+        let has_reason = !reason.is_empty();
         out.push(Allow {
             anchor_line: c.anchor_line,
             line: c.line,
             col: c.col,
             rules: names,
             has_reason,
+            reason,
         });
     }
     out
 }
 
-/// Lints already-loaded sources. `files` holds `(workspace-relative
-/// path, contents)` pairs; paths use forward slashes. This is the
-/// test-facing entry point — no filesystem involved.
-pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+/// Lints already-loaded sources, returning **every** finding — a
+/// suppressed one carries the allow's reason in
+/// [`Diagnostic::suppressed_by`] instead of being dropped. This feeds
+/// `--json` (the CI baseline wants to see suppressions) and the tests.
+pub fn lint_files_all(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
     let models: Vec<(String, FileModel<'_>)> = files
         .iter()
         .filter(|(p, _)| !cfg.exclude.iter().any(|e| p.contains(e.as_str())))
@@ -90,14 +96,14 @@ pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
         diags.extend(rule_mods::run_file_rules(path, model, cfg));
     }
     rule_mods::unsafety::run_crates(&models, cfg, &mut diags);
+    rule_mods::run_workspace_rules(&models, cfg, &mut diags);
 
-    // Suppression pass.
-    let mut kept = Vec::new();
+    // Suppression pass: mark, never drop.
     for (path, model) in &models {
         let allows = collect_allows(model);
         for a in &allows {
             if !a.has_reason {
-                kept.push(
+                diags.push(
                     Diagnostic::new(
                         path,
                         a.line,
@@ -109,32 +115,33 @@ pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
                 );
             }
         }
-        diags.retain(|d| {
-            if &d.path != path {
-                return true;
-            }
-            let suppressed = allows.iter().any(|a| {
+        for d in diags.iter_mut().filter(|d| &d.path == path) {
+            if let Some(a) = allows.iter().find(|a| {
                 a.has_reason
                     && a.rules.iter().any(|r| r == d.rule)
                     && a.anchor_line >= d.line
                     && a.anchor_line <= d.end_line
-            });
-            if suppressed {
-                false
-            } else {
-                kept.push(d.clone());
-                false
+            }) {
+                d.suppressed_by = Some(a.reason.clone());
             }
-        });
+        }
     }
-    // Crate-level diagnostics on paths outside `models` order (none
-    // today, but keep anything the retain loop didn't claim).
-    kept.extend(diags);
 
-    kept.sort_by(|a, b| {
+    diags.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
-    kept
+    diags
+}
+
+/// Lints already-loaded sources. `files` holds `(workspace-relative
+/// path, contents)` pairs; paths use forward slashes. This is the
+/// test-facing entry point — no filesystem involved. Suppressed
+/// findings are dropped; use [`lint_files_all`] to see them.
+pub fn lint_files(files: &[(String, String)], cfg: &Config) -> Vec<Diagnostic> {
+    lint_files_all(files, cfg)
+        .into_iter()
+        .filter(|d| d.suppressed_by.is_none())
+        .collect()
 }
 
 /// Recursively collects `.rs` files under an include directory.
@@ -165,9 +172,7 @@ fn rel(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Lints the workspace rooted at `root`: walks `cfg.include`, loads each
-/// `.rs` file, and runs every rule.
-pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+fn load_workspace(root: &Path, cfg: &Config) -> Result<Vec<(String, String)>, String> {
     let mut paths = Vec::new();
     for inc in &cfg.include {
         let dir = root.join(inc);
@@ -181,7 +186,19 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, Stri
         let src = fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
         files.push((rel(root, &p), src));
     }
-    Ok(lint_files(&files, cfg))
+    Ok(files)
+}
+
+/// Lints the workspace rooted at `root`: walks `cfg.include`, loads each
+/// `.rs` file, and runs every rule.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+    Ok(lint_files(&load_workspace(root, cfg)?, cfg))
+}
+
+/// [`lint_workspace`], but suppressed findings are kept and marked (see
+/// [`lint_files_all`]).
+pub fn lint_workspace_all(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, String> {
+    Ok(lint_files_all(&load_workspace(root, cfg)?, cfg))
 }
 
 #[cfg(test)]

@@ -1,0 +1,493 @@
+//! Workspace call graph.
+//!
+//! Builds a whole-workspace view over the per-file [`FileModel`]s: every
+//! `fn` becomes a node (with its owning `impl` type and trait recorded),
+//! and every call site resolves to a set of candidate callees. Resolution
+//! is deliberately *conservative over-approximation*, in this order:
+//!
+//! 1. method calls whose receiver names `self`, a typed parameter, or a
+//!    struct field resolve by the receiver's declared type;
+//! 2. receivers typed by a trait (`Box<dyn ReplicaLock<T>>`) fan out to
+//!    every implementing type's method plus the trait's default methods;
+//! 3. `Type::assoc(…)` paths resolve through the impl registry;
+//! 4. anything still unresolved falls back to *every* same-name method in
+//!    the workspace (never silently to nothing).
+//!
+//! The graph answers two questions for [`crate::flow`]: "which functions
+//! can this call reach?" (summaries propagate bottom-up over the SCC
+//! condensation, so recursion terminates) and "what type is this
+//! receiver?" (lock classes and ranks key off it).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{CallSite, FileModel};
+
+/// One function node.
+#[derive(Debug)]
+pub struct FnNode {
+    /// Index of the owning file in the input slice.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fx: usize,
+    pub name: String,
+    /// Implementing type when the fn sits inside an `impl` block.
+    pub owner_ty: Option<String>,
+    /// Trait the impl block implements, or the defining trait for a
+    /// default method.
+    pub owner_trait: Option<String>,
+}
+
+/// One outgoing call edge of a function.
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Index into the owning file's `calls`.
+    pub call: usize,
+    /// Candidate callees (indices into [`Graph::fns`]); empty means the
+    /// callee is external to the analyzed set.
+    pub targets: Vec<usize>,
+}
+
+/// Receiver resolution result (see [`Graph::resolve_recv`]).
+#[derive(Debug, Default)]
+pub struct RecvInfo {
+    /// Field hits `(file, struct, field, type text)` when the receiver
+    /// names a struct field.
+    pub fields: Vec<(usize, String, String, String)>,
+    /// Candidate head type names the receiver may have.
+    pub tys: Vec<String>,
+    /// The receiver named something with a declared type (`self`, a typed
+    /// parameter, a field) — even if no candidate survived. Distinguishes
+    /// "typed but not a lock" from "nobody knows".
+    pub resolved: bool,
+}
+
+/// The workspace call graph over a set of file models.
+pub struct Graph<'m, 'a> {
+    pub files: &'m [(String, FileModel<'a>)],
+    pub fns: Vec<FnNode>,
+    /// Outgoing calls per fn, in source (byte) order.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// trait name → implementing type names.
+    pub trait_impls: BTreeMap<String, Vec<String>>,
+    by_owner: BTreeMap<(String, String), Vec<usize>>,
+    by_name_methods: BTreeMap<String, Vec<usize>>,
+    by_name_free: BTreeMap<String, Vec<usize>>,
+    trait_defaults: BTreeMap<(String, String), Vec<usize>>,
+    type_names: BTreeSet<String>,
+    trait_names: BTreeSet<String>,
+    /// struct name → (file, field, ty) for workspace-wide field lookup.
+    fields_by_name: BTreeMap<String, Vec<(usize, String, String)>>,
+}
+
+impl<'m, 'a> Graph<'m, 'a> {
+    pub fn build(files: &'m [(String, FileModel<'a>)]) -> Self {
+        let mut g = Graph {
+            files,
+            fns: Vec::new(),
+            calls: Vec::new(),
+            trait_impls: BTreeMap::new(),
+            by_owner: BTreeMap::new(),
+            by_name_methods: BTreeMap::new(),
+            by_name_free: BTreeMap::new(),
+            trait_defaults: BTreeMap::new(),
+            type_names: BTreeSet::new(),
+            trait_names: BTreeSet::new(),
+            fields_by_name: BTreeMap::new(),
+        };
+        for (fi, (_, m)) in files.iter().enumerate() {
+            for s in &m.structs {
+                g.type_names.insert(s.name.clone());
+                for f in &s.fields {
+                    g.fields_by_name.entry(f.name.clone()).or_default().push((
+                        fi,
+                        s.name.clone(),
+                        f.ty.clone(),
+                    ));
+                }
+            }
+            for t in &m.traits {
+                g.trait_names.insert(t.name.clone());
+            }
+            for i in &m.impls {
+                g.type_names.insert(i.ty.clone());
+                if let Some(tr) = &i.trait_name {
+                    let v = g.trait_impls.entry(tr.clone()).or_default();
+                    if !v.contains(&i.ty) {
+                        v.push(i.ty.clone());
+                    }
+                }
+            }
+        }
+        for (fi, (_, m)) in files.iter().enumerate() {
+            for (fx, f) in m.fns.iter().enumerate() {
+                let id = g.fns.len();
+                let owner = m.impl_at(f.byte);
+                let (owner_ty, owner_trait) = match owner {
+                    Some(i) => (Some(i.ty.clone()), i.trait_name.clone()),
+                    None => (None, m.trait_at(f.byte).map(|t| t.name.clone())),
+                };
+                if f.has_self || owner_ty.is_some() {
+                    g.by_name_methods
+                        .entry(f.name.clone())
+                        .or_default()
+                        .push(id);
+                } else if owner_trait.is_none() {
+                    g.by_name_free.entry(f.name.clone()).or_default().push(id);
+                }
+                if let Some(ty) = &owner_ty {
+                    g.by_owner
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                if owner_ty.is_none() {
+                    if let Some(tr) = &owner_trait {
+                        g.trait_defaults
+                            .entry((tr.clone(), f.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                }
+                g.fns.push(FnNode {
+                    file: fi,
+                    fx,
+                    name: f.name.clone(),
+                    owner_ty,
+                    owner_trait,
+                });
+            }
+        }
+        g.calls = vec![Vec::new(); g.fns.len()];
+        let ids: Vec<usize> = (0..g.fns.len()).collect();
+        for &id in &ids {
+            let node = &g.fns[id];
+            let (fi, fx) = (node.file, node.fx);
+            let m = &files[fi].1;
+            let body = m.fns[fx].body.clone();
+            let mut edges = Vec::new();
+            for (ci, c) in m.calls.iter().enumerate() {
+                if !body.contains(&c.byte) {
+                    continue;
+                }
+                // Attribute to the innermost containing fn only.
+                let innermost = m
+                    .fns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.body.contains(&c.byte))
+                    .min_by_key(|(_, h)| h.body.len())
+                    .map(|(j, _)| j);
+                if innermost != Some(fx) {
+                    continue;
+                }
+                let targets = g.resolve_call(fi, Some(id), c);
+                edges.push(CallEdge { call: ci, targets });
+            }
+            g.calls[id] = edges;
+        }
+        g
+    }
+
+    /// Graph node id of file `fi`'s `fx`-th fn.
+    pub fn fn_id(&self, fi: usize, fx: usize) -> Option<usize> {
+        self.fns.iter().position(|n| n.file == fi && n.fx == fx)
+    }
+
+    /// Head type-name candidates mentioned in a type's source text:
+    /// identifiers that name a workspace struct/impl target/trait, or
+    /// look like a lock type. `Box < dyn ReplicaLock < T > >` →
+    /// `["ReplicaLock"]`.
+    pub fn type_candidates(&self, ty: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for w in ty.split_whitespace() {
+            if !w
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                continue;
+            }
+            if (self.type_names.contains(w) || self.trait_names.contains(w) || w.ends_with("Lock"))
+                && !out.contains(&w.to_string())
+            {
+                out.push(w.to_string());
+            }
+        }
+        out
+    }
+
+    /// Whether `name` is a workspace trait.
+    pub fn is_trait(&self, name: &str) -> bool {
+        self.trait_names.contains(name)
+    }
+
+    /// Resolves a method call's receiver: field hits and candidate type
+    /// names. `enclosing` is the graph id of the fn containing the call.
+    pub fn resolve_recv(&self, fi: usize, enclosing: Option<usize>, call: &CallSite) -> RecvInfo {
+        let mut info = RecvInfo::default();
+        let Some(recv) = call.recv.as_deref() else {
+            return info;
+        };
+        if recv == "self" {
+            if let Some(e) = enclosing {
+                if let Some(ty) = &self.fns[e].owner_ty {
+                    info.tys.push(ty.clone());
+                    info.resolved = true;
+                } else if let Some(tr) = &self.fns[e].owner_trait {
+                    info.tys.push(tr.clone());
+                    info.resolved = true;
+                }
+            }
+            return info;
+        }
+        // A typed parameter of the enclosing fn shadows fields.
+        if let Some(e) = enclosing {
+            let node = &self.fns[e];
+            let f = &self.files[node.file].1.fns[node.fx];
+            if let Some(p) = f.params.iter().find(|p| p.name == recv) {
+                info.tys = self.type_candidates(&p.ty);
+                info.resolved = true;
+                return info;
+            }
+        }
+        // Struct fields: same file first, then workspace-wide.
+        let m = &self.files[fi].1;
+        for s in &m.structs {
+            for fld in &s.fields {
+                if fld.name == recv {
+                    info.fields
+                        .push((fi, s.name.clone(), fld.name.clone(), fld.ty.clone()));
+                }
+            }
+        }
+        if info.fields.is_empty() {
+            if let Some(hits) = self.fields_by_name.get(recv) {
+                for (hf, hs, hty) in hits {
+                    info.fields
+                        .push((*hf, hs.clone(), recv.to_string(), hty.clone()));
+                }
+            }
+        }
+        for (_, _, _, ty) in &info.fields {
+            for c in self.type_candidates(ty) {
+                if !info.tys.contains(&c) {
+                    info.tys.push(c);
+                }
+            }
+        }
+        info.resolved = !info.fields.is_empty();
+        info
+    }
+
+    /// Candidate callee fns a type name's method resolves to (trait
+    /// receivers fan out over every impl).
+    fn owned_methods(&self, ty: &str, method: &str, out: &mut Vec<usize>) {
+        if let Some(v) = self.by_owner.get(&(ty.to_string(), method.to_string())) {
+            out.extend(v.iter().copied());
+        }
+        if self.trait_names.contains(ty) {
+            if let Some(impls) = self.trait_impls.get(ty) {
+                for imp in impls {
+                    if let Some(v) = self.by_owner.get(&(imp.clone(), method.to_string())) {
+                        out.extend(v.iter().copied());
+                    }
+                }
+            }
+            if let Some(v) = self
+                .trait_defaults
+                .get(&(ty.to_string(), method.to_string()))
+            {
+                out.extend(v.iter().copied());
+            }
+        }
+    }
+
+    /// Resolves a call site to candidate callees.
+    fn resolve_call(&self, fi: usize, enclosing: Option<usize>, call: &CallSite) -> Vec<usize> {
+        let m = &self.files[fi].1;
+        let mut out = Vec::new();
+        if call.is_method {
+            let info = self.resolve_recv(fi, enclosing, call);
+            for ty in &info.tys {
+                self.owned_methods(ty, &call.method, &mut out);
+            }
+            if out.is_empty() && !info.resolved {
+                // Conservative fallback: every same-name method — but
+                // only for receivers nobody could type. A receiver whose
+                // declared type simply is not a workspace type (an
+                // `AtomicU64` field, a `TcpStream` param) is an external
+                // call, and fanning it out to every same-name method
+                // would thread call edges through unrelated crates.
+                if let Some(v) = self.by_name_methods.get(&call.method) {
+                    out.extend(v.iter().copied());
+                }
+            }
+        } else {
+            // `Type::assoc(…)` paths resolve through the impl registry.
+            let mut qualified = false;
+            if let Some(k) = m.sig_at_byte(call.byte) {
+                if k >= 2 && m.txt(k - 1) == ":" && m.txt(k - 2) == ":" {
+                    qualified = true;
+                    if k >= 3 {
+                        let head = m.txt(k - 3);
+                        self.owned_methods(head, &call.method, &mut out);
+                    }
+                }
+            }
+            if !qualified {
+                if let Some(v) = self.by_name_free.get(&call.method) {
+                    out.extend(v.iter().copied());
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Strongly connected components of the call graph, in reverse
+    /// topological order (callees before callers), via iterative Tarjan.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let n = self.fns.len();
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|v| {
+                let mut s: Vec<usize> = self.calls[v]
+                    .iter()
+                    .flat_map(|e| e.targets.iter().copied())
+                    .collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next = 0usize;
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, next-successor position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            frames.push((start, 0));
+            index[start] = next;
+            low[start] = next;
+            next += 1;
+            stack.push(start);
+            on_stack[start] = true;
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos < succ[v].len() {
+                    let w = succ[v][*pos];
+                    *pos += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next;
+                        low[w] = next;
+                        next += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(srcs: &[(&str, &str)]) -> Vec<(String, FileModel<'static>)> {
+        srcs.iter()
+            .map(|(p, s)| {
+                let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+                (p.to_string(), FileModel::build(leaked))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resolves_self_field_and_trait_calls() {
+        let files = models(&[
+            (
+                "crates/sync/src/lock.rs",
+                "pub struct TicketLock { next: u64 }\n\
+                 pub trait ReplicaLock<T> { fn with_write(&self); }\n\
+                 pub struct DistRwLock<T> { x: T }\n\
+                 impl<T> ReplicaLock<T> for DistRwLock<T> {\n\
+                     fn with_write(&self) { self.write(); }\n\
+                 }\n\
+                 impl<T> DistRwLock<T> { pub fn write(&self) {} }\n\
+                 impl TicketLock { pub fn lock(&self) {} }\n",
+            ),
+            (
+                "crates/nr/src/uc.rs",
+                "pub struct Uc { gate: TicketLock, lock: Box<dyn ReplicaLock<u64>> }\n\
+                 impl Uc {\n\
+                     pub fn go(&self) { self.gate.lock(); self.lock.with_write(); }\n\
+                 }\n",
+            ),
+        ]);
+        let g = Graph::build(&files);
+        let go = g.fns.iter().position(|f| f.name == "go").unwrap();
+        assert_eq!(g.fns[go].owner_ty.as_deref(), Some("Uc"));
+        let edges = &g.calls[go];
+        assert_eq!(edges.len(), 2);
+        // gate.lock() → TicketLock::lock.
+        let lock_tgts = &edges[0].targets;
+        assert_eq!(lock_tgts.len(), 1);
+        assert_eq!(g.fns[lock_tgts[0]].owner_ty.as_deref(), Some("TicketLock"));
+        // lock.with_write() → the trait impl on DistRwLock.
+        let ww_tgts = &edges[1].targets;
+        assert_eq!(ww_tgts.len(), 1);
+        assert_eq!(g.fns[ww_tgts[0]].owner_ty.as_deref(), Some("DistRwLock"));
+        // …whose body's self.write() resolves within the impl.
+        let ww = ww_tgts[0];
+        let w_tgts = &g.calls[ww][0].targets;
+        assert_eq!(w_tgts.len(), 1);
+        assert_eq!(g.fns[w_tgts[0]].name, "write");
+    }
+
+    #[test]
+    fn sccs_put_callees_first_and_group_cycles() {
+        let files = models(&[(
+            "crates/core/src/x.rs",
+            "fn a() { b(); }\nfn b() { c(); a(); }\nfn c() {}\n",
+        )]);
+        let g = Graph::build(&files);
+        let sccs = g.sccs();
+        let name_of = |id: usize| g.fns[id].name.clone();
+        let pos = |n: &str| {
+            sccs.iter()
+                .position(|c| c.iter().any(|&id| name_of(id) == n))
+                .unwrap()
+        };
+        // c is a leaf; a and b form a cycle and share a component.
+        assert!(pos("c") < pos("a"));
+        assert_eq!(pos("a"), pos("b"));
+        let ab = &sccs[pos("a")];
+        assert_eq!(ab.len(), 2);
+    }
+}

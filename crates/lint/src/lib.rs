@@ -21,6 +21,12 @@
 //! * [`rules::forbidden`] — configurable API bans (`Instant::now`
 //!   outside the latency model, blocking std locks in hot paths,
 //!   `thread::sleep` outside `Waiter`).
+//! * [`rules::lock_order`] — inter-procedural lock hierarchy over the
+//!   workspace call graph ([`graph`]): `// lock-level:` declarations,
+//!   rank inversions, static deadlock cycles, undeclared lock types.
+//! * [`rules::flush_publish`] — psan rule 1 at lint time: every path
+//!   from an NVM store to a publish site passes a flush and an sfence,
+//!   propagated through calls by [`flow`] summaries.
 //!
 //! Findings are suppressed only by `// lint:allow(<rule>): <reason>`
 //! with a mandatory reason; the reason-less form is itself a finding.
@@ -33,11 +39,13 @@
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod flow;
+pub mod graph;
 pub mod lexer;
 pub mod model;
 pub mod rules;
 
 pub use config::Config;
 pub use diag::{rules as rule_ids, Diagnostic};
-pub use engine::{lint_files, lint_workspace};
+pub use engine::{lint_files, lint_files_all, lint_workspace, lint_workspace_all};
 pub use model::FileModel;

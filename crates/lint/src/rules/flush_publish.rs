@@ -1,0 +1,75 @@
+//! `flush-before-publish`: psan rule 1 enforced statically on all paths.
+//!
+//! [`crate::flow::EffectAnalysis`] computes, per function, where each
+//! control-flow path sits in the `Clean < Flushed < Dirty` lattice and
+//! which publish sites it reaches in a non-Clean state — including sites
+//! reached through calls, with the inter-procedural chain attached. This
+//! module turns those violations into findings, deduplicated by publish
+//! site (many callers can materialize the same one; the shortest chain
+//! wins as the representative).
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::diag::{rules, Diagnostic};
+use crate::flow::{EffectAnalysis, Viol, ViolKind, CLEAN};
+use crate::graph::Graph;
+
+pub fn run(
+    graph: &Graph<'_, '_>,
+    analysis: &EffectAnalysis,
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let scope = &cfg.flush_publish.scope;
+    // Best (shortest-chain) violation per publish site.
+    let mut best: BTreeMap<(ViolKind, usize, u32), &Viol> = BTreeMap::new();
+    for s in &analysis.summaries {
+        for v in &s.viols[CLEAN as usize] {
+            if !scope.applies(graph.files[v.file].0.as_str()) {
+                continue;
+            }
+            best.entry((v.kind, v.file, v.line))
+                .and_modify(|cur| {
+                    if v.chain.len() < cur.chain.len() {
+                        *cur = v;
+                    }
+                })
+                .or_insert(v);
+        }
+    }
+    for ((kind, fi, _), v) in best {
+        let path = graph.files[fi].0.as_str();
+        let store = v
+            .store
+            .map(|(sf, sl)| format!(" (store at {}:{})", graph.files[sf].0, sl))
+            .unwrap_or_default();
+        let (what_wrong, fix) = match kind {
+            ViolKind::MissingFlush => (
+                format!(
+                    "publish of `{}` is reachable with an unflushed NVM store{store} — \
+                     after a crash the publish is durable but its data may not be",
+                    v.what
+                ),
+                "flush the stored span (flush_range/clflushopt_at) and sfence on every \
+                 path before the publish",
+            ),
+            ViolKind::MissingFence => (
+                format!(
+                    "publish of `{}` is reachable with a flushed but unfenced store{store} — \
+                     the writeback may still be in flight when the publish lands",
+                    v.what
+                ),
+                "issue rt.sfence() after the flush, on every path that reaches the publish",
+            ),
+        };
+        out.push(
+            Diagnostic::new(path, v.line, v.col, rules::FLUSH_BEFORE_PUBLISH, what_wrong)
+                .span_to(v.end_line)
+                .with_chain(v.chain.clone())
+                .suggest(format!(
+                    "{fix}, or justify with // lint:allow(flush-before-publish): <reason>"
+                )),
+        );
+    }
+}

@@ -5,7 +5,9 @@
 //! attributes) lives in [`unsafety`]. The engine applies `lint:allow`
 //! suppression afterwards, so rules themselves stay oblivious to it.
 
+pub mod flush_publish;
 pub mod forbidden;
+pub mod lock_order;
 pub mod ordering;
 pub mod padding;
 pub mod persist;
@@ -13,6 +15,8 @@ pub mod unsafety;
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
+use crate::flow::{EffectAnalysis, LockAnalysis};
+use crate::graph::Graph;
 use crate::model::FileModel;
 
 /// Runs every per-file rule over one file.
@@ -24,4 +28,18 @@ pub fn run_file_rules(path: &str, model: &FileModel<'_>, cfg: &Config) -> Vec<Di
     unsafety::run_file(path, model, cfg, &mut out);
     forbidden::run(path, model, cfg, &mut out);
     out
+}
+
+/// Runs the inter-procedural rules over the whole workspace: builds the
+/// call graph once, then the lock and effect analyses over it.
+pub fn run_workspace_rules(
+    models: &[(String, FileModel<'_>)],
+    cfg: &Config,
+    out: &mut Vec<Diagnostic>,
+) {
+    let graph = Graph::build(models);
+    let locks = LockAnalysis::run(&graph, cfg);
+    lock_order::run(&graph, &locks, cfg, out);
+    let effects = EffectAnalysis::run(&graph, cfg);
+    flush_publish::run(&graph, &effects, cfg, out);
 }

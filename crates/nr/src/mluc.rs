@@ -137,6 +137,8 @@ const SLOT_DONE: u64 = 3;
 struct Slot<T: SequentialObject> {
     // shared-line: each whole Slot is stored as CachePadded<Slot<T>> in
     // Lane::slots, so the state word already owns its line.
+    // lock-level: 3 innermost: a slot claim (PENDING -> INFLIGHT) happens
+    // under the lane lock and never waits on another ranked lock
     state: AtomicU64,
     op: UnsafeCell<Option<T::Op>>,
     resp: UnsafeCell<Option<T::Resp>>,
@@ -164,6 +166,8 @@ impl<T: SequentialObject> Slot<T> {
 struct Lane<T: SequentialObject> {
     /// The lane's replica partition; holding the lock is what makes a
     /// thread this lane's combiner (or reader).
+    // lock-level: 1 lane combiner election — nested inside the level-0
+    // gate by cross-lane operations
     obj: TryLock<T>,
     /// First log index not yet applied to `obj`. Written only under the
     /// lane lock; read locklessly for floor computation.
@@ -182,6 +186,7 @@ pub struct MultiLaneReplicated<T: SequentialObject, H: MlHooks<T::Op>> {
     lanes: Box<[Lane<T>]>,
     /// Serializes cross-lane operations; its ticket order is their total
     /// order.
+    // lock-level: 0 the cross-log gate is taken before any lane lock
     gate: TicketLock,
     /// Next multi id. Only mutated under the gate.
     // shared-line: gate-serialized — never contended, padding wasted.

@@ -26,6 +26,8 @@ pub(crate) const SLOT_DONE: u8 = 2;
 /// * the owner takes `resp` after loading `DONE` (acquire) and stores
 ///   `EMPTY` (release), completing the cycle.
 pub(crate) struct BatchSlot<O, R> {
+    // lock-level: 3 innermost: the combiner claims slots while holding
+    // the level-1 combiner lock and never waits on a ranked lock after
     pub(crate) state: CachePadded<AtomicU8>,
     pub(crate) op: UnsafeCell<Option<O>>,
     pub(crate) resp: UnsafeCell<Option<R>>,
@@ -97,6 +99,8 @@ impl SlotReadState {
 pub(crate) struct Replica<T: prep_seqds::SequentialObject> {
     /// The combiner lock (paper: a trylock; winning it makes a thread the
     /// combiner for this node).
+    // lock-level: 1 combiner election, nested inside nothing and outside
+    // the level-2 replica rwlock and level-3 slot claims
     pub(crate) combiner: TryLock<()>,
     /// Reader-writer lock protecting the sequential object. Which lock is
     /// behind the trait object is [`FairnessMode`]'s choice: the NR §3

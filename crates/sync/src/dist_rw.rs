@@ -67,6 +67,7 @@ pub enum ReaderId {
 /// lock.write().push(4);
 /// assert_eq!(lock.read(ReaderId::Shared).len(), 4);
 /// ```
+// lock-level: 2 a ReplicaLock implementation — see the trait's level
 pub struct DistRwLock<T> {
     /// Bit 63: a writer holds the lock. Low bits: writers waiting to
     /// acquire (readers defer to both — writer preference, as in

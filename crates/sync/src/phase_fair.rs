@@ -38,6 +38,7 @@ const PHID: usize = 0x1;
 /// lock.write().push('b');
 /// assert_eq!(&*lock.read(), "ab");
 /// ```
+// lock-level: 2 a ReplicaLock implementation — see the trait's level
 #[derive(Debug)]
 pub struct PhaseFairRwLock<T> {
     rin: CachePadded<AtomicUsize>,

@@ -39,6 +39,7 @@ const READER_MASK: u64 = (1 << 32) - 1;
 /// lock.write().push(4);
 /// assert_eq!(lock.read().len(), 4);
 /// ```
+// lock-level: 2 a ReplicaLock implementation — see the trait's level
 #[derive(Debug)]
 pub struct RwSpinLock<T> {
     state: CachePadded<AtomicU64>,

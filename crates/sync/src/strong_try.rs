@@ -72,6 +72,7 @@ fn thread_ordinal() -> usize {
 /// drop(w);
 /// assert!(lock.try_read().is_some());
 /// ```
+// lock-level: 2 a ReplicaLock implementation — see the trait's level
 #[derive(Debug)]
 pub struct StrongTryRwLock<T> {
     /// Bit 63: writer holds. Readers only load this word.

@@ -14,6 +14,8 @@ use crossbeam_utils::CachePadded;
 use crate::Waiter;
 
 /// A FIFO ticket lock (no protected data; callers serialize a code region).
+// lock-level: 0 outermost: the cross-log reservation gate is taken
+// before any per-replica or per-lane lock
 #[derive(Debug, Default)]
 pub struct TicketLock {
     next: CachePadded<AtomicU64>,
